@@ -1,0 +1,64 @@
+"""E7 — ablation of the four pruning rules (a)-(d).
+
+The paper lists four prunings: (a) A*-style optimistic cost, (b) pivot path,
+(c) distribution cost shifting, (d) stochastic dominance.  This bench runs
+the same query with each rule disabled in turn (and everything disabled) and
+regenerates a table of search effort, attributing the speedup per rule.
+Answers must agree across all variants — pruning is lossless under the
+convolution combiner.
+"""
+
+import pytest
+
+from repro.experiments import render_table
+from repro.routing import ProbabilisticBudgetRouter, PruningConfig, RoutingQuery
+
+from conftest import emit
+
+VARIANTS = [
+    ("full pruning", PruningConfig()),
+    ("no dominance (d)", PruningConfig(use_dominance=False)),
+    ("no pivot (b)", PruningConfig(use_pivot=False)),
+    ("no cost shifting (c)", PruningConfig(use_cost_shifting=False)),
+    ("no heuristic (a,c)", PruningConfig(use_heuristic=False, use_cost_shifting=False)),
+]
+
+
+def _query(runner):
+    bands = list(runner.workload)
+    return runner.workload[bands[-1]][0].query
+
+
+def test_pruning_ablation_table(benchmark, runner):
+    query = _query(runner)
+    convolution = runner.trained.convolution_model()
+
+    def run_all():
+        rows = []
+        reference = None
+        for name, pruning in VARIANTS:
+            router = ProbabilisticBudgetRouter(
+                runner.network, convolution, pruning=pruning
+            )
+            result = router.route(query)
+            if reference is None:
+                reference = result.probability
+            assert result.probability == pytest.approx(reference, abs=1e-9), name
+            rows.append(
+                [
+                    name,
+                    f"{result.stats.labels_generated}",
+                    f"{result.stats.labels_expanded}",
+                    f"{result.stats.runtime_seconds * 1000:.1f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        "E7: Pruning ablation (same answer, varying search effort)",
+        render_table(["Variant", "Labels", "Expanded", "ms"], rows),
+    )
+    full_labels = int(rows[0][1])
+    for row in rows[1:]:
+        assert int(row[1]) >= full_labels  # every rule only ever helps

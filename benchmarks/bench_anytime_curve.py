@@ -1,0 +1,48 @@
+"""E8 — anytime quality-vs-time curve.
+
+The paper's anytime extension returns the pivot path when the time budget
+``x`` expires.  This bench sweeps the budget on one long query and
+regenerates the quality-vs-time curve: probability is non-decreasing in the
+time limit and reaches the unbounded optimum.
+"""
+
+import pytest
+
+from repro.experiments import render_table
+from repro.routing import AnytimeRouter
+
+from conftest import emit
+
+
+def test_anytime_quality_curve(benchmark, runner):
+    bands = list(runner.workload)
+    banded = runner.workload[bands[-1]][0]
+    router = AnytimeRouter(runner.network, runner.trained.hybrid_model())
+    limits = [0.001, 0.005, 0.02, 0.1, 0.5]
+
+    def sweep():
+        points = router.quality_curve(banded.query, limits)
+        reference = router.route_unbounded(banded.query)
+        return points, reference
+
+    points, reference = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "E8: Anytime quality vs. time limit",
+        render_table(
+            ["Limit (s)", "P(on time)", "Completed", "Edges"],
+            [
+                [f"{p.time_limit_seconds:g}", f"{p.probability:.4f}",
+                 str(p.completed), str(p.num_edges)]
+                for p in points
+            ]
+            + [["unbounded", f"{reference.probability:.4f}", "True",
+                str(reference.num_edges)]],
+        ),
+    )
+    # Anytime never returns a worse answer with more time (each run is
+    # deterministic and the pivot only improves).
+    probs = [p.probability for p in points]
+    assert all(b >= a - 1e-9 for a, b in zip(probs, probs[1:]))
+    assert probs[-1] == pytest.approx(reference.probability, abs=1e-9)
+    # Every limited run still returns a usable path.
+    assert all(p.num_edges > 0 for p in points)

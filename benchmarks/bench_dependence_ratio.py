@@ -1,0 +1,27 @@
+"""E3 — "approximately 75 % of all edge pairs with data are dependent".
+
+Chi-square independence test over every sufficiently observed pair of the
+synthetic corpus; the measured ratio should land in the paper's
+"large majority dependent" regime.
+"""
+
+from repro.experiments import run_dependence_experiment
+
+from conftest import emit
+
+
+def test_dependence_ratio(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: run_dependence_experiment(
+            runner.store,
+            runner.traffic_model,
+            min_samples=runner.preset.training.min_pair_samples,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E3: Edge-pair dependence ratio (paper: ~75%)", result.render())
+    assert result.num_pairs_tested >= 50
+    # Paper reports ~75%; accept the surrounding band (test power varies
+    # with corpus size).
+    assert 0.55 <= result.measured_fraction <= 0.95

@@ -1,0 +1,42 @@
+"""E4 — model evaluation: train on edge pairs, measure held-out KL.
+
+The paper trains the estimation model on 4000 edge pairs and evaluates on
+1000 (our presets scale the split to the corpus), measuring KL-divergence
+between model output and ground-truth trajectories.  The reproduced shape:
+hybrid < convolution, with the classifier deciding per intersection.
+"""
+
+from repro.experiments import evaluate_model
+
+from conftest import emit
+
+
+def test_model_kl_table(benchmark, runner):
+    evaluation = benchmark.pedantic(
+        lambda: evaluate_model(runner.trained), rounds=1, iterations=1
+    )
+    emit("E4: Held-out KL by combiner (paper metric)", evaluation.render())
+
+    assert evaluation.num_test_pairs >= 20
+    # The paper's qualitative claim: the hybrid improves on convolution.
+    assert evaluation.kl_hybrid < evaluation.kl_convolution
+    # The classifier must beat coin flipping on its own labels.
+    assert evaluation.classifier_accuracy > 0.6
+    # And estimation is actually being used (dependent pairs dominate).
+    assert evaluation.estimation_fraction > 0.3
+
+
+def test_training_pipeline_cost(benchmark, runner):
+    """Timing of one full training pipeline on the small corpus."""
+    from repro.core import train_hybrid
+
+    benchmark.pedantic(
+        lambda: train_hybrid(
+            runner.network,
+            runner.store,
+            runner.preset.training,
+            traffic_model=runner.traffic_model,
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,55 @@
+"""E6 — the Efficiency table.
+
+The paper: mean PBR runtime 0.06 s / 3.37 s / 9.73 s for the [0,1) / [1,5) /
+[5,10) km bands on the Danish network — runtime grows steeply with query
+distance.  We regenerate the table on the synthetic testbed and assert the
+monotone growth; absolute values are smaller because graph and language
+differ (see EXPERIMENTS.md).
+
+Additionally, one representative query per band is registered as a
+pytest-benchmark timing target so regressions in the search show up in the
+benchmark report itself.
+"""
+
+import pytest
+
+from repro.experiments import run_efficiency_experiment
+from repro.routing import ProbabilisticBudgetRouter
+
+from conftest import emit
+
+_table_cache = {}
+
+
+def _efficiency_table(runner):
+    if "table" not in _table_cache:
+        _table_cache["table"] = run_efficiency_experiment(
+            runner.network, runner.trained.hybrid_model(), runner.workload
+        )
+    return _table_cache["table"]
+
+
+def test_efficiency_table(benchmark, runner):
+    table = benchmark.pedantic(
+        lambda: _efficiency_table(runner), rounds=1, iterations=1
+    )
+    emit("E6: Efficiency (mean seconds per distance band)", table.render())
+
+    means = [row.mean_seconds for row in table.rows]
+    labels = [row.mean_labels_generated for row in table.rows]
+    # Paper shape: runtime strictly grows across distance bands.
+    assert means == sorted(means)
+    assert means[-1] > means[0]
+    # Search effort grows with distance as well.
+    assert labels == sorted(labels)
+
+
+@pytest.mark.parametrize("band_index", [0, 1])
+def test_routing_latency_per_band(benchmark, runner, band_index):
+    """Wall-clock of one representative unbounded query per band."""
+    bands = list(runner.workload)
+    band = bands[min(band_index, len(bands) - 1)]
+    banded = runner.workload[band][0]
+    router = ProbabilisticBudgetRouter(runner.network, runner.trained.hybrid_model())
+    result = benchmark(lambda: router.route(banded.query))
+    assert result.found

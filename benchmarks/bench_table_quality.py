@@ -1,0 +1,40 @@
+"""E5 — the Quality table.
+
+Regenerates the paper's quality matrix: distance bands × {P∞, anytime
+limits}.  The paper reports the hybrid's gain over convolution routing
+growing with distance (13% / 53% / 60% for P∞ on the Danish network); we
+assert the reproduced *shape*: non-negative mean gain overall, with the
+hybrid winning (never materially losing) in every band.
+"""
+
+from repro.experiments import run_quality_experiment
+
+from conftest import emit
+
+
+def test_quality_table(benchmark, runner):
+    table = benchmark.pedantic(
+        lambda: run_quality_experiment(
+            runner.network,
+            runner.trained.hybrid_model(),
+            runner.trained.convolution_model(),
+            runner.traffic_model,
+            runner.workload,
+            anytime_limits=runner.preset.anytime_limits,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("E5: Quality (gain of hybrid over convolution routing)", table.render())
+
+    overall = 0.0
+    for row in table.rows:
+        unbounded = row.cells[0]
+        overall += unbounded.mean_gain
+        # No band should show a material loss: the hybrid's re-ranking must
+        # not be worse than convolution where it ties out.
+        assert unbounded.mean_gain > -0.10, row.band.label
+        # Sanity: the experiment actually ran queries in this band.
+        assert unbounded.num_queries == runner.preset.queries_per_band
+    # Aggregate across bands the hybrid must come out ahead.
+    assert overall > 0.0

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one artefact of the paper (see DESIGN.md's
+per-experiment index).  The expensive state — network, traffic ground truth,
+trajectory corpus, trained hybrid — is built once per session from the
+``small`` preset so the suite stays fast; EXPERIMENTS.md records the
+``medium``-preset numbers produced by the same code paths.
+"""
+
+import pytest
+
+from repro.experiments import get_runner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """The shared small-preset reproduction runner."""
+    return get_runner("small")
+
+
+@pytest.fixture(scope="session")
+def trained(runner):
+    return runner.trained
+
+
+@pytest.fixture(scope="session")
+def workload(runner):
+    return runner.workload
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated table under a recognisable banner."""
+    print(f"\n=== {title} ===\n{body}\n")

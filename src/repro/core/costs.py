@@ -1,0 +1,84 @@
+"""Edge cost tables: the per-edge travel-time histograms routing consumes.
+
+The paper's road-network model annotates each edge with a histogram learned
+from trajectories.  :class:`EdgeCostTable` holds those histograms, with a
+free-flow fallback for edges the corpus never covered (a real deployment
+routes over the full network, not just the observed edges).
+"""
+
+from __future__ import annotations
+
+from ..histograms import DiscreteDistribution
+from ..network import Edge, RoadNetwork
+from ..trajectories import TrajectoryStore
+
+__all__ = ["EdgeCostTable"]
+
+
+class EdgeCostTable:
+    """Per-edge marginal cost histograms with free-flow fallback.
+
+    Parameters
+    ----------
+    network:
+        The covered road network.
+    resolution:
+        Seconds per grid tick (must match the corpus the histograms came
+        from).
+    """
+
+    def __init__(self, network: RoadNetwork, *, resolution: float) -> None:
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        self.network = network
+        self.resolution = float(resolution)
+        self._table: dict[int, DiscreteDistribution] = {}
+
+    @classmethod
+    def from_store(
+        cls,
+        network: RoadNetwork,
+        store: TrajectoryStore,
+        *,
+        resolution: float,
+        min_samples: int = 10,
+    ) -> "EdgeCostTable":
+        """Build from empirical per-edge histograms (>= ``min_samples``)."""
+        table = cls(network, resolution=resolution)
+        for edge_id in store.edge_ids_with_data(min_samples=min_samples):
+            table.set_cost(edge_id, store.edge_histogram(edge_id))
+        return table
+
+    def set_cost(self, edge_id: int, distribution: DiscreteDistribution) -> None:
+        """Install or overwrite one edge's histogram."""
+        self.network.edge(edge_id)  # raises IndexError for unknown edges
+        self._table[edge_id] = distribution
+
+    def has_observed_cost(self, edge_id: int) -> bool:
+        """True when the edge has a corpus-derived histogram."""
+        return edge_id in self._table
+
+    @property
+    def num_observed(self) -> int:
+        return len(self._table)
+
+    def free_flow_cost(self, edge: Edge) -> DiscreteDistribution:
+        """Deterministic fallback: a point mass at the free-flow tick count."""
+        ticks = max(1, int(round(edge.free_flow_time / self.resolution)))
+        return DiscreteDistribution.point(ticks)
+
+    def cost(self, edge: Edge) -> DiscreteDistribution:
+        """The edge's marginal cost histogram (observed or fallback)."""
+        observed = self._table.get(edge.id)
+        if observed is not None:
+            return observed
+        return self.free_flow_cost(edge)
+
+    def min_ticks(self, edge: Edge) -> int:
+        """Minimum possible travel time of the edge in ticks.
+
+        This feeds the optimistic remaining-cost heuristic (pruning rule (a)):
+        the heuristic must lower-bound any achievable cost, so it uses the
+        histogram's minimum when observed and the free-flow time otherwise.
+        """
+        return self.cost(edge).min_value

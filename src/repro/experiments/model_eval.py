@@ -1,0 +1,67 @@
+"""E4 — model evaluation (train 4000 / test 1000 pairs, KL-divergence).
+
+Thin wrapper exposing the training pipeline's held-out report as a rendered
+table, the per-method KL the paper measures "between the output and ground
+truth trajectories".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import TrainedHybrid
+from .tables import format_percent, render_table
+
+__all__ = ["ModelEvaluation", "evaluate_model"]
+
+
+@dataclass(frozen=True)
+class ModelEvaluation:
+    """KL of each combiner on held-out pairs + classifier quality."""
+
+    num_train_pairs: int
+    num_test_pairs: int
+    kl_convolution: float
+    kl_estimation: float
+    kl_hybrid: float
+    classifier_accuracy: float
+    estimation_fraction: float
+    hybrid_improvement: float
+
+    def render(self) -> str:
+        headers = ["Method", "Mean KL"]
+        rows = [
+            ["Convolution", f"{self.kl_convolution:.4f}"],
+            ["Estimation", f"{self.kl_estimation:.4f}"],
+            ["Hybrid", f"{self.kl_hybrid:.4f}"],
+        ]
+        table = render_table(
+            headers,
+            rows,
+            title=(
+                f"Model evaluation ({self.num_train_pairs} train / "
+                f"{self.num_test_pairs} test pairs)"
+            ),
+        )
+        extra = (
+            f"classifier accuracy: {format_percent(self.classifier_accuracy, digits=1)}; "
+            f"estimation used on {format_percent(self.estimation_fraction, digits=1)} of pairs; "
+            f"hybrid KL improvement over convolution: "
+            f"{format_percent(self.hybrid_improvement, digits=1)}"
+        )
+        return f"{table}\n{extra}"
+
+
+def evaluate_model(trained: TrainedHybrid) -> ModelEvaluation:
+    """Project the pipeline's report into the experiment artefact."""
+    report = trained.report
+    return ModelEvaluation(
+        num_train_pairs=report.num_train_pairs,
+        num_test_pairs=report.num_test_pairs,
+        kl_convolution=report.kl_convolution,
+        kl_estimation=report.kl_estimation,
+        kl_hybrid=report.kl_hybrid,
+        classifier_accuracy=report.classifier_accuracy,
+        estimation_fraction=report.estimation_fraction,
+        hybrid_improvement=report.improvement_over_convolution(),
+    )

@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment output.
+
+Every bench prints its result through this renderer so the regenerated
+tables visually match the paper's row/column layout.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_percent", "format_seconds"]
+
+
+def format_percent(value: float, *, digits: int = 0) -> str:
+    """``0.53 -> '53%'`` (the quality table's unit)."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_seconds(value: float, *, digits: int = 2) -> str:
+    """Seconds with fixed decimals (the efficiency table's unit)."""
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    The first column is left-aligned (row labels), the rest right-aligned
+    (numbers), matching the paper's table style.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+
+    def fmt(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            parts.append(cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt([str(h) for h in headers]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Travel-time histogram algebra.
+
+Uniform-grid discrete distributions with exact convolution, cost shifting,
+stochastic dominance, distribution metrics (KL et al.) and 2-D joints for
+edge-pair dependence analysis — the substrate under both the hybrid model and
+probabilistic budget routing.
+"""
+
+from .distribution import DiscreteDistribution
+from .dominance import ParetoFrontier, dominates, non_dominated, weakly_dominates
+from .joint import JointDistribution
+from .metrics import (
+    cross_entropy,
+    hellinger,
+    js_divergence,
+    kl_divergence,
+    total_variation,
+    wasserstein,
+)
+from .operations import (
+    shape_profile,
+    delay_profile,
+    from_delay_profile,
+    mixture,
+    project_onto_window,
+    scale_values,
+)
+
+__all__ = [
+    "DiscreteDistribution",
+    "JointDistribution",
+    "ParetoFrontier",
+    "cross_entropy",
+    "delay_profile",
+    "dominates",
+    "from_delay_profile",
+    "hellinger",
+    "js_divergence",
+    "kl_divergence",
+    "mixture",
+    "non_dominated",
+    "project_onto_window",
+    "scale_values",
+    "shape_profile",
+    "total_variation",
+    "wasserstein",
+    "weakly_dominates",
+]

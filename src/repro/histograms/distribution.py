@@ -1,0 +1,384 @@
+"""Discrete travel-time distributions on a uniform time grid.
+
+The whole reproduction represents uncertain travel times the way the paper's
+road-network model does: as histograms.  Internally every histogram lives on a
+uniform integer grid whose unit is a *tick* of ``resolution`` seconds.  A
+distribution is a pair ``(offset, probs)`` where ``probs[i]`` is the
+probability that the travel time equals ``(offset + i) * resolution`` seconds.
+
+Keeping every distribution on the same grid makes the operations the paper
+relies on exact and cheap:
+
+* **convolution** of two distributions (independent edge combination) is a
+  plain discrete convolution with offsets adding,
+* **cost shifting** (pruning rule (c)) is an integer add to ``offset``,
+* **stochastic dominance** (pruning rule (d)) is a CDF comparison on the
+  aligned grid,
+* ``P(cost <= budget)`` — the objective of probabilistic budget routing — is a
+  prefix sum.
+
+Coarse presentation-level histograms such as the paper's 10-minute buckets are
+produced with :meth:`DiscreteDistribution.rebin`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["DiscreteDistribution"]
+
+#: Probability mass below this threshold is treated as zero when trimming.
+_MASS_EPSILON = 1e-12
+
+
+def _as_probability_array(probs: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Validate and copy ``probs`` into a float64 numpy array."""
+    arr = np.asarray(probs, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"probability vector must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError("probability vector must be non-empty")
+    if np.any(arr < -_MASS_EPSILON):
+        raise ValueError("probabilities must be non-negative")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("probabilities must be finite")
+    return np.clip(arr, 0.0, None)
+
+
+class DiscreteDistribution:
+    """A probability distribution over travel times on a uniform tick grid.
+
+    Parameters
+    ----------
+    offset:
+        Index of the first grid cell; the smallest possible travel time is
+        ``offset`` ticks.
+    probs:
+        Probability of each consecutive tick starting at ``offset``.  The
+        vector is normalised on construction (its sum must be positive).
+    normalize:
+        When ``False`` the caller asserts ``probs`` already sums to one and
+        normalisation is skipped (used on hot paths).
+
+    Notes
+    -----
+    Instances are immutable: all operations return new distributions.  The
+    probability array is copied on construction and flagged read-only.
+    """
+
+    __slots__ = ("_offset", "_probs")
+
+    def __init__(
+        self,
+        offset: int,
+        probs: Sequence[float] | np.ndarray,
+        *,
+        normalize: bool = True,
+    ) -> None:
+        arr = _as_probability_array(probs)
+        if normalize:
+            total = float(arr.sum())
+            if total <= 0.0:
+                raise ValueError("probability vector must have positive mass")
+            if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-9):
+                arr = arr / total
+        # Trim leading/trailing zero mass so that support bounds are tight.
+        nonzero = np.flatnonzero(arr > _MASS_EPSILON)
+        if nonzero.size == 0:
+            raise ValueError("probability vector must have positive mass")
+        first, last = int(nonzero[0]), int(nonzero[-1])
+        arr = arr[first : last + 1]
+        self._offset = int(offset) + first
+        self._probs = arr
+        self._probs.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def point(cls, value: int) -> "DiscreteDistribution":
+        """A deterministic travel time of exactly ``value`` ticks."""
+        return cls(value, np.ones(1), normalize=False)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[int, float]) -> "DiscreteDistribution":
+        """Build a distribution from ``{tick: probability}``.
+
+        Example
+        -------
+        >>> d = DiscreteDistribution.from_mapping({30: 0.5, 40: 0.5})
+        >>> d.mean()
+        35.0
+        """
+        if not mapping:
+            raise ValueError("mapping must be non-empty")
+        ticks = sorted(int(t) for t in mapping)
+        lo, hi = ticks[0], ticks[-1]
+        probs = np.zeros(hi - lo + 1, dtype=np.float64)
+        for tick, p in mapping.items():
+            probs[int(tick) - lo] += float(p)
+        return cls(lo, probs)
+
+    @classmethod
+    def from_samples(
+        cls, samples: Iterable[float], *, resolution: float = 1.0
+    ) -> "DiscreteDistribution":
+        """Build an empirical distribution from raw travel-time samples.
+
+        ``samples`` are given in the same unit as ``resolution`` (typically
+        seconds); each sample is rounded to the nearest tick.
+        """
+        values = np.asarray(list(samples), dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("need at least one sample")
+        if np.any(values < 0):
+            raise ValueError("travel times must be non-negative")
+        ticks = np.rint(values / float(resolution)).astype(np.int64)
+        lo, hi = int(ticks.min()), int(ticks.max())
+        probs = np.bincount(ticks - lo, minlength=hi - lo + 1).astype(np.float64)
+        return cls(lo, probs)
+
+    @classmethod
+    def uniform(cls, lo: int, hi: int) -> "DiscreteDistribution":
+        """Uniform distribution over the inclusive tick range ``[lo, hi]``."""
+        if hi < lo:
+            raise ValueError("hi must be >= lo")
+        return cls(lo, np.full(hi - lo + 1, 1.0), normalize=True)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def offset(self) -> int:
+        """Tick index of the first support cell (the minimum travel time)."""
+        return self._offset
+
+    @property
+    def probs(self) -> np.ndarray:
+        """Read-only probability vector aligned at :attr:`offset`."""
+        return self._probs
+
+    @property
+    def support_size(self) -> int:
+        """Number of grid cells between min and max support, inclusive."""
+        return int(self._probs.size)
+
+    @property
+    def min_value(self) -> int:
+        """Smallest travel time with positive probability (ticks)."""
+        return self._offset
+
+    @property
+    def max_value(self) -> int:
+        """Largest travel time with positive probability (ticks)."""
+        return self._offset + self._probs.size - 1
+
+    def __len__(self) -> int:
+        return self.support_size
+
+    def __iter__(self) -> Iterator[tuple[int, float]]:
+        """Iterate ``(tick, probability)`` pairs over the support."""
+        for i, p in enumerate(self._probs):
+            if p > _MASS_EPSILON:
+                yield self._offset + i, float(p)
+
+    def to_mapping(self) -> dict[int, float]:
+        """Return ``{tick: probability}`` for the support."""
+        return dict(self)
+
+    def prob_at(self, tick: int) -> float:
+        """Probability that the travel time equals exactly ``tick``."""
+        idx = int(tick) - self._offset
+        if idx < 0 or idx >= self._probs.size:
+            return 0.0
+        return float(self._probs[idx])
+
+    # ------------------------------------------------------------------
+    # Moments and summary statistics
+    # ------------------------------------------------------------------
+
+    def mean(self) -> float:
+        """Expected travel time in ticks."""
+        values = self._offset + np.arange(self._probs.size)
+        return float(np.dot(values, self._probs))
+
+    def variance(self) -> float:
+        """Variance of the travel time in ticks squared."""
+        values = self._offset + np.arange(self._probs.size, dtype=np.float64)
+        mu = float(np.dot(values, self._probs))
+        return float(np.dot((values - mu) ** 2, self._probs))
+
+    def std(self) -> float:
+        """Standard deviation of the travel time in ticks."""
+        return math.sqrt(max(self.variance(), 0.0))
+
+    def entropy(self) -> float:
+        """Shannon entropy in nats."""
+        p = self._probs[self._probs > _MASS_EPSILON]
+        return float(-np.dot(p, np.log(p)))
+
+    def mode(self) -> int:
+        """Tick with the highest probability (smallest on ties)."""
+        return self._offset + int(np.argmax(self._probs))
+
+    # ------------------------------------------------------------------
+    # CDF, quantiles and the routing objective
+    # ------------------------------------------------------------------
+
+    def cdf(self) -> np.ndarray:
+        """Cumulative probabilities aligned at :attr:`offset`."""
+        return np.cumsum(self._probs)
+
+    def cdf_at(self, tick: int) -> float:
+        """``P(travel time <= tick)``."""
+        idx = int(tick) - self._offset
+        if idx < 0:
+            return 0.0
+        if idx >= self._probs.size:
+            return 1.0
+        return float(np.sum(self._probs[: idx + 1]))
+
+    def prob_within(self, budget: int) -> float:
+        """``P(travel time <= budget)`` — the PBR objective for one path."""
+        return self.cdf_at(budget)
+
+    def quantile(self, q: float) -> int:
+        """Smallest tick ``t`` such that ``P(X <= t) >= q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile level must be in [0, 1]")
+        if q == 0.0:
+            return self.min_value
+        cum = np.cumsum(self._probs)
+        idx = int(np.searchsorted(cum, q - 1e-12, side="left"))
+        idx = min(idx, self._probs.size - 1)
+        return self._offset + idx
+
+    # ------------------------------------------------------------------
+    # Algebraic operations
+    # ------------------------------------------------------------------
+
+    def shift(self, ticks: int) -> "DiscreteDistribution":
+        """Translate the distribution by ``ticks`` (cost shifting, rule (c)).
+
+        Shifting never changes the shape of the distribution, so pruning
+        comparisons after a shift are exact.
+        """
+        return DiscreteDistribution(self._offset + int(ticks), self._probs, normalize=False)
+
+    def convolve(self, other: "DiscreteDistribution") -> "DiscreteDistribution":
+        """Distribution of the sum of two *independent* travel times.
+
+        This is the classical path-cost combiner the paper improves on: it is
+        only correct when the two edges are spatially independent.
+        """
+        probs = np.convolve(self._probs, other._probs)
+        return DiscreteDistribution(self._offset + other._offset, probs, normalize=False)
+
+    def __add__(self, other: object) -> "DiscreteDistribution":
+        if isinstance(other, DiscreteDistribution):
+            return self.convolve(other)
+        if isinstance(other, (int, np.integer)):
+            return self.shift(int(other))
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def rebin(self, factor: int, *, anchor: int = 0) -> "DiscreteDistribution":
+        """Coarsen to buckets of ``factor`` ticks.
+
+        Mass of tick ``t`` goes into the bucket whose representative tick is
+        ``anchor + floor((t - anchor) / factor) * factor`` — the bucket's left
+        boundary, matching the paper's ``[40, 50)``-style bucket notation.
+        """
+        if factor < 1:
+            raise ValueError("rebin factor must be >= 1")
+        if factor == 1:
+            return self
+        ticks = self._offset + np.arange(self._probs.size)
+        buckets = anchor + ((ticks - anchor) // factor) * factor
+        lo = int(buckets[0])
+        idx = (buckets - lo) // factor
+        out = np.zeros(int(idx[-1]) + 1, dtype=np.float64)
+        np.add.at(out, idx, self._probs)
+        # Resulting distribution lives on the coarse grid expressed in the
+        # original tick unit: cells are spaced ``factor`` apart, so expand to
+        # the fine grid by placing mass at the bucket boundary.
+        fine = np.zeros((out.size - 1) * factor + 1, dtype=np.float64)
+        fine[:: factor] = out
+        return DiscreteDistribution(lo, fine, normalize=False)
+
+    def truncate(self, max_support: int) -> "DiscreteDistribution":
+        """Bound the support size, folding excess tail mass into the last cell.
+
+        Used to keep routing labels at a fixed resolution budget; folding the
+        tail (rather than dropping it) keeps the distribution a valid,
+        *pessimistic-at-the-tail* approximation whose total mass is exact.
+        """
+        if max_support < 1:
+            raise ValueError("max_support must be >= 1")
+        if self._probs.size <= max_support:
+            return self
+        head = self._probs[: max_support].copy()
+        head[-1] += float(self._probs[max_support:].sum())
+        return DiscreteDistribution(self._offset, head, normalize=False)
+
+    def normalize_tail(self, max_support: int) -> "DiscreteDistribution":
+        """Bound the support size by *dropping* the tail and renormalising."""
+        if max_support < 1:
+            raise ValueError("max_support must be >= 1")
+        if self._probs.size <= max_support:
+            return self
+        return DiscreteDistribution(self._offset, self._probs[:max_support], normalize=True)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | int:
+        """Draw travel-time samples (ticks) from the distribution."""
+        values = self._offset + np.arange(self._probs.size)
+        p = self._probs / self._probs.sum()
+        out = rng.choice(values, size=size, p=p)
+        if size is None:
+            return int(out)
+        return out.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Grid alignment and comparison
+    # ------------------------------------------------------------------
+
+    def aligned_with(
+        self, other: "DiscreteDistribution"
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """Express both distributions on a common grid.
+
+        Returns ``(offset, p, q)`` where ``p`` and ``q`` have equal length
+        starting at ``offset``.
+        """
+        lo = min(self.min_value, other.min_value)
+        hi = max(self.max_value, other.max_value)
+        size = hi - lo + 1
+        p = np.zeros(size, dtype=np.float64)
+        q = np.zeros(size, dtype=np.float64)
+        p[self._offset - lo : self._offset - lo + self._probs.size] = self._probs
+        q[other._offset - lo : other._offset - lo + other._probs.size] = other._probs
+        return lo, p, q
+
+    def allclose(self, other: "DiscreteDistribution", *, atol: float = 1e-9) -> bool:
+        """True when the two distributions agree up to ``atol`` per cell."""
+        _, p, q = self.aligned_with(other)
+        return bool(np.allclose(p, q, atol=atol, rtol=0.0))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiscreteDistribution):
+            return NotImplemented
+        return self.allclose(other, atol=1e-12)
+
+    def __hash__(self) -> int:  # pragma: no cover - defensive
+        return hash((self._offset, self._probs.tobytes()))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{t}: {p:.3f}" for t, p in list(self)[:6])
+        suffix = ", ..." if self.support_size > 6 else ""
+        return f"DiscreteDistribution({{{pairs}{suffix}}})"

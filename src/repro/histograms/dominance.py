@@ -1,0 +1,119 @@
+"""First-order stochastic dominance for travel-time distributions.
+
+Stochastic dominance is pruning rule (d) of the paper's probabilistic budget
+routing algorithm: if two search labels reach the same vertex and one label's
+cost distribution stochastically dominates the other's, the dominated label
+can never become part of a better answer for *any* remaining budget and is
+discarded.
+
+For travel times, *smaller is better*, so distribution ``P`` dominates ``Q``
+when ``P`` is at least as likely to be under every deadline::
+
+    forall t:  P(X <= t) >= Q(Y <= t)
+
+with strict inequality somewhere (otherwise the two are equal and either may
+be kept).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .distribution import DiscreteDistribution
+
+__all__ = ["dominates", "weakly_dominates", "non_dominated", "ParetoFrontier"]
+
+_TOL = 1e-12
+
+
+def weakly_dominates(p: DiscreteDistribution, q: DiscreteDistribution) -> bool:
+    """True when ``P(X <= t) >= Q(Y <= t)`` for every tick ``t``.
+
+    Weak dominance admits equality everywhere; it is the test used for
+    pruning because discarding an exact duplicate label is also sound.
+    """
+    # Fast necessary conditions on support bounds avoid full alignment on the
+    # common case where supports are disjoint or nested.
+    if p.min_value > q.max_value:
+        return False
+    if p.max_value <= q.min_value:
+        return True
+    _, pa, qa = p.aligned_with(q)
+    return bool(np.all(np.cumsum(pa) >= np.cumsum(qa) - _TOL))
+
+
+def dominates(p: DiscreteDistribution, q: DiscreteDistribution) -> bool:
+    """Strict first-order dominance: weak dominance plus inequality somewhere."""
+    if not weakly_dominates(p, q):
+        return False
+    _, pa, qa = p.aligned_with(q)
+    return bool(np.any(np.cumsum(pa) > np.cumsum(qa) + _TOL))
+
+
+def non_dominated(
+    distributions: Sequence[DiscreteDistribution],
+) -> list[DiscreteDistribution]:
+    """Filter a set of distributions down to its Pareto frontier.
+
+    A distribution survives when no *other* distribution weakly dominates it,
+    except that among exact duplicates the first occurrence is kept.
+    """
+    survivors: list[DiscreteDistribution] = []
+    for candidate in distributions:
+        dominated = False
+        for kept in survivors:
+            if weakly_dominates(kept, candidate):
+                dominated = True
+                break
+        if dominated:
+            continue
+        survivors = [k for k in survivors if not weakly_dominates(candidate, k)]
+        survivors.append(candidate)
+    return survivors
+
+
+class ParetoFrontier:
+    """Mutable Pareto set of non-dominated distributions at a search vertex.
+
+    The PBR search keeps one frontier per vertex; a new label is inserted only
+    when no resident distribution weakly dominates it, and inserting it evicts
+    every resident it dominates.  ``max_size`` optionally bounds the frontier
+    (labels beyond the bound are rejected pessimistically), which turns the
+    exact search into the bounded-memory variant used for large graphs.
+    """
+
+    __slots__ = ("_members", "max_size")
+
+    def __init__(self, *, max_size: int | None = None) -> None:
+        if max_size is not None and max_size < 1:
+            raise ValueError("max_size must be >= 1 when given")
+        self._members: list[DiscreteDistribution] = []
+        self.max_size = max_size
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterable[DiscreteDistribution]:
+        return iter(self._members)
+
+    def is_dominated(self, candidate: DiscreteDistribution) -> bool:
+        """True when some resident weakly dominates ``candidate``."""
+        return any(weakly_dominates(kept, candidate) for kept in self._members)
+
+    def add(self, candidate: DiscreteDistribution) -> bool:
+        """Try to insert ``candidate``; returns ``True`` when it was kept.
+
+        Residents dominated by the candidate are evicted so the set stays an
+        antichain under weak dominance.
+        """
+        if self.is_dominated(candidate):
+            return False
+        self._members = [
+            kept for kept in self._members if not weakly_dominates(candidate, kept)
+        ]
+        if self.max_size is not None and len(self._members) >= self.max_size:
+            return False
+        self._members.append(candidate)
+        return True

@@ -1,0 +1,141 @@
+"""Compound operations on travel-time distributions.
+
+Helpers shared by the traffic simulator (mixtures over latent congestion
+states), the estimation model (projecting predictions onto bounded supports)
+and the experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .distribution import DiscreteDistribution
+
+__all__ = [
+    "mixture",
+    "scale_values",
+    "project_onto_window",
+    "from_delay_profile",
+    "delay_profile",
+    "shape_profile",
+]
+
+
+def mixture(
+    components: Sequence[DiscreteDistribution],
+    weights: Sequence[float],
+) -> DiscreteDistribution:
+    """Weighted mixture of distributions.
+
+    The traffic ground truth is a mixture over latent congestion states:
+    ``P(t) = sum_s pi(s) * P(t | s)``.
+    """
+    if len(components) == 0:
+        raise ValueError("mixture needs at least one component")
+    if len(components) != len(weights):
+        raise ValueError("components and weights must have equal length")
+    w = np.asarray(weights, dtype=np.float64)
+    if np.any(w < 0):
+        raise ValueError("mixture weights must be non-negative")
+    total = float(w.sum())
+    if total <= 0:
+        raise ValueError("mixture weights must have positive sum")
+    w = w / total
+    lo = min(c.min_value for c in components)
+    hi = max(c.max_value for c in components)
+    probs = np.zeros(hi - lo + 1, dtype=np.float64)
+    for component, weight in zip(components, w):
+        if weight == 0.0:
+            continue
+        start = component.min_value - lo
+        probs[start : start + component.support_size] += weight * component.probs
+    return DiscreteDistribution(lo, probs, normalize=False)
+
+
+def scale_values(dist: DiscreteDistribution, factor: float) -> DiscreteDistribution:
+    """Multiply the travel-time axis by ``factor``, rounding to the grid.
+
+    Used to derive congested-state distributions from free-flow ones (e.g.
+    heavy congestion doubling each travel time).  Mass that lands on the same
+    tick after rounding is merged.
+    """
+    if factor <= 0:
+        raise ValueError("scale factor must be positive")
+    mapping: dict[int, float] = {}
+    for tick, p in dist:
+        scaled = int(round(tick * factor))
+        mapping[scaled] = mapping.get(scaled, 0.0) + p
+    return DiscreteDistribution.from_mapping(mapping)
+
+
+def project_onto_window(
+    probs: np.ndarray, offset: int, *, renormalize: bool = True
+) -> DiscreteDistribution:
+    """Build a distribution from a raw (possibly unnormalised) bin vector.
+
+    The estimation model's softmax head outputs a probability vector over a
+    fixed window of delay bins; this helper turns it into a distribution
+    anchored at ``offset`` while guarding against degenerate all-zero output.
+    """
+    arr = np.asarray(probs, dtype=np.float64)
+    arr = np.clip(arr, 0.0, None)
+    if float(arr.sum()) <= 0.0:
+        # Degenerate prediction: fall back to a point mass at the window start.
+        arr = np.zeros_like(arr)
+        if arr.size == 0:
+            arr = np.ones(1)
+        else:
+            arr[0] = 1.0
+    return DiscreteDistribution(offset, arr, normalize=renormalize)
+
+
+def delay_profile(
+    dist: DiscreteDistribution, *, num_bins: int
+) -> np.ndarray:
+    """Express ``dist`` as a fixed-length vector of delay-beyond-minimum bins.
+
+    Bin ``i`` holds ``P(X = min + i)`` for ``i < num_bins - 1``; the final bin
+    accumulates the entire remaining tail.  This is the target representation
+    the distribution-estimation model is trained on: it removes the absolute
+    offset (which varies per edge pair) and leaves only the *shape*.
+    """
+    if num_bins < 1:
+        raise ValueError("num_bins must be >= 1")
+    out = np.zeros(num_bins, dtype=np.float64)
+    probs = dist.probs
+    head = min(probs.size, num_bins - 1) if num_bins > 1 else 0
+    out[:head] = probs[:head]
+    out[-1] += float(probs[head:].sum()) if head < probs.size else 0.0
+    if num_bins == 1:
+        out[0] = 1.0
+    return out
+
+
+def from_delay_profile(profile: np.ndarray, offset: int) -> DiscreteDistribution:
+    """Inverse of :func:`delay_profile`: re-anchor a shape vector at ``offset``."""
+    return project_onto_window(profile, offset)
+
+
+def shape_profile(dist: DiscreteDistribution, *, num_bins: int) -> tuple[np.ndarray, int]:
+    """Scale-invariant shape descriptor: mass per equal-width support chunk.
+
+    The support ``[min, max]`` is divided into ``num_bins`` chunks of
+    ``width = ceil(support / num_bins)`` ticks; the returned vector holds the
+    mass of each chunk and always sums to 1.  Unlike :func:`delay_profile`
+    this never saturates on wide distributions (the chunk width grows
+    instead), which is what lets a model trained on short pre-paths read the
+    shape of a long virtual edge.
+
+    Returns ``(profile, width)``; ``width`` is a useful scale feature.
+    """
+    if num_bins < 1:
+        raise ValueError("num_bins must be >= 1")
+    width = max(1, -(-dist.support_size // num_bins))  # ceil division
+    out = np.zeros(num_bins, dtype=np.float64)
+    probs = dist.probs
+    for start in range(0, dist.support_size, width):
+        index = min(start // width, num_bins - 1)
+        out[index] += float(probs[start : start + width].sum())
+    return out, width

@@ -1,0 +1,72 @@
+"""From-scratch NumPy ML stack.
+
+MLP with softmax distribution head (the paper's estimation model backbone),
+logistic regression / decision trees / random forests (dependence-classifier
+candidates), losses, optimizers, preprocessing, metrics and model selection.
+"""
+
+from .base import Classifier, Estimator, Regressor
+from .forest import RandomForestClassifier, RandomForestRegressor
+from .linear import LogisticRegression, RidgeRegression
+from .losses import (
+    binary_cross_entropy,
+    cross_entropy_from_logits,
+    cross_entropy_gradient,
+    log_softmax,
+    mse,
+    softmax,
+)
+from .metrics import (
+    accuracy,
+    brier_score,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    mean_kl_to_targets,
+    precision,
+    recall,
+)
+from .mlp import MlpClassifier, MlpConfig, MlpDistributionRegressor, MlpNetwork
+from .model_selection import kfold_indices, train_test_split, train_test_split_indices
+from .optimizers import Adam, Momentum, Optimizer, Sgd
+from .preprocessing import OneHotEncoder, StandardScaler
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "Adam",
+    "Classifier",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "Estimator",
+    "LogisticRegression",
+    "MlpClassifier",
+    "MlpConfig",
+    "MlpDistributionRegressor",
+    "MlpNetwork",
+    "Momentum",
+    "OneHotEncoder",
+    "Optimizer",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "Regressor",
+    "RidgeRegression",
+    "Sgd",
+    "StandardScaler",
+    "accuracy",
+    "binary_cross_entropy",
+    "brier_score",
+    "confusion_matrix",
+    "cross_entropy_from_logits",
+    "cross_entropy_gradient",
+    "f1_score",
+    "kfold_indices",
+    "log_loss",
+    "log_softmax",
+    "mean_kl_to_targets",
+    "mse",
+    "precision",
+    "recall",
+    "softmax",
+    "train_test_split",
+    "train_test_split_indices",
+]

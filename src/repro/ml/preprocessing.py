@@ -1,0 +1,81 @@
+"""Feature preprocessing: standardisation and categorical encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import check_2d
+
+__all__ = ["StandardScaler", "OneHotEncoder"]
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance feature scaling.
+
+    Constant features get a scale of 1 so transforming them is a no-op
+    (instead of dividing by zero).
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = check_2d(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        X = check_2d(X)
+        if X.shape[1] != self.mean_.size:
+            raise ValueError(
+                f"expected {self.mean_.size} features, got {X.shape[1]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        X = check_2d(X)
+        return X * self.scale_ + self.mean_
+
+
+class OneHotEncoder:
+    """One-hot encoding of an integer/str categorical column.
+
+    Unknown categories at transform time map to the all-zero vector (rather
+    than erroring), since routing-time queries may touch road categories the
+    training pairs never covered.
+    """
+
+    def __init__(self) -> None:
+        self.categories_: list | None = None
+        self._index: dict | None = None
+
+    def fit(self, values: np.ndarray) -> "OneHotEncoder":
+        arr = np.asarray(values).ravel()
+        self.categories_ = sorted(set(arr.tolist()))
+        self._index = {c: i for i, c in enumerate(self.categories_)}
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if self._index is None or self.categories_ is None:
+            raise RuntimeError("OneHotEncoder is not fitted")
+        arr = np.asarray(values).ravel()
+        out = np.zeros((arr.size, len(self.categories_)), dtype=np.float64)
+        for row, value in enumerate(arr.tolist()):
+            column = self._index.get(value)
+            if column is not None:
+                out[row, column] = 1.0
+        return out
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)

@@ -1,0 +1,231 @@
+"""CART decision trees (classification and regression).
+
+Greedy binary splitting on thresholded numeric features — Gini impurity for
+classification, variance reduction for regression.  Splits scan sorted unique
+values with prefix-sum statistics, so fitting is ``O(d · n log n)`` per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Classifier, Regressor, check_2d, check_fitted
+
+__all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    """Internal tree node (leaf when ``feature`` is None)."""
+
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: np.ndarray | None = None  # class distribution or mean target
+    num_samples: int = 0
+
+
+def _best_split_gini(
+    X: np.ndarray, labels: np.ndarray, num_classes: int, feature_indices: np.ndarray
+) -> tuple[int, float, float] | None:
+    """Best ``(feature, threshold, impurity_decrease)`` under Gini, or None."""
+    n = labels.size
+    counts = np.bincount(labels, minlength=num_classes).astype(np.float64)
+    parent_gini = 1.0 - ((counts / n) ** 2).sum()
+    best: tuple[int, float, float] | None = None
+    for feature in feature_indices:
+        order = np.argsort(X[:, feature], kind="mergesort")
+        xs = X[order, feature]
+        ys = labels[order]
+        left = np.zeros(num_classes)
+        right = counts.copy()
+        for i in range(n - 1):
+            c = ys[i]
+            left[c] += 1.0
+            right[c] -= 1.0
+            if xs[i + 1] <= xs[i] + 1e-12:
+                continue
+            nl, nr = i + 1.0, n - i - 1.0
+            gini_l = 1.0 - ((left / nl) ** 2).sum()
+            gini_r = 1.0 - ((right / nr) ** 2).sum()
+            decrease = parent_gini - (nl * gini_l + nr * gini_r) / n
+            if best is None or decrease > best[2]:
+                best = (int(feature), float((xs[i] + xs[i + 1]) / 2.0), float(decrease))
+    return best
+
+
+def _best_split_variance(
+    X: np.ndarray, y: np.ndarray, feature_indices: np.ndarray
+) -> tuple[int, float, float] | None:
+    """Best ``(feature, threshold, variance_decrease)``, or None."""
+    n = y.size
+    parent_var = float(y.var())
+    best: tuple[int, float, float] | None = None
+    for feature in feature_indices:
+        order = np.argsort(X[:, feature], kind="mergesort")
+        xs = X[order, feature]
+        ys = y[order]
+        prefix = np.cumsum(ys)
+        prefix_sq = np.cumsum(ys * ys)
+        total, total_sq = prefix[-1], prefix_sq[-1]
+        for i in range(n - 1):
+            if xs[i + 1] <= xs[i] + 1e-12:
+                continue
+            nl, nr = i + 1.0, n - i - 1.0
+            var_l = prefix_sq[i] / nl - (prefix[i] / nl) ** 2
+            var_r = (total_sq - prefix_sq[i]) / nr - ((total - prefix[i]) / nr) ** 2
+            decrease = parent_var - (nl * var_l + nr * var_r) / n
+            if best is None or decrease > best[2]:
+                best = (int(feature), float((xs[i] + xs[i + 1]) / 2.0), float(decrease))
+    return best
+
+
+class _TreeBase:
+    """Shared growth logic; subclasses define leaf values and split scoring."""
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Node | None = None
+        self._rng = np.random.default_rng(seed)
+        self._fitted = False
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _find_split(self, X: np.ndarray, y: np.ndarray, features: np.ndarray):
+        raise NotImplementedError
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=self._leaf_value(y), num_samples=y.shape[0])
+        if depth >= self.max_depth or y.shape[0] < self.min_samples_split:
+            return node
+        num_features = X.shape[1]
+        if self.max_features is not None and self.max_features < num_features:
+            features = self._rng.choice(num_features, size=self.max_features, replace=False)
+        else:
+            features = np.arange(num_features)
+        split = self._find_split(X, y, features)
+        if split is None or split[2] <= 1e-12:
+            return node
+        feature, threshold, _ = split
+        mask = X[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _predict_row(self, row: np.ndarray) -> np.ndarray:
+        node = self._root
+        assert node is not None
+        while node.feature is not None:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        assert node.value is not None
+        return node.value
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the grown tree (0 = single leaf)."""
+        def walk(node: _Node | None) -> int:
+            if node is None or node.feature is None:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        check_fitted(self)  # type: ignore[arg-type]
+        return walk(self._root)
+
+    @property
+    def num_leaves(self) -> int:
+        def walk(node: _Node | None) -> int:
+            if node is None:
+                return 0
+            if node.feature is None:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        check_fitted(self)  # type: ignore[arg-type]
+        return walk(self._root)
+
+
+class DecisionTreeClassifier(_TreeBase, Classifier):
+    """CART classifier with Gini splitting."""
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.num_classes_: int | None = None
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        assert self.num_classes_ is not None
+        counts = np.bincount(y, minlength=self.num_classes_).astype(np.float64)
+        return counts / counts.sum()
+
+    def _find_split(self, X: np.ndarray, y: np.ndarray, features: np.ndarray):
+        assert self.num_classes_ is not None
+        return _best_split_gini(X, y, self.num_classes_, features)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = check_2d(X)
+        labels = np.asarray(y, dtype=np.int64).ravel()
+        if labels.size != X.shape[0]:
+            raise ValueError("X and y must have the same number of rows")
+        if labels.min() < 0:
+            raise ValueError("labels must be non-negative")
+        self.num_classes_ = int(labels.max()) + 1
+        self._rng = np.random.default_rng(self.seed)
+        self._root = self._grow(X, labels, depth=0)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self)
+        X = check_2d(X)
+        return np.vstack([self._predict_row(row) for row in X])
+
+
+class DecisionTreeRegressor(_TreeBase, Regressor):
+    """CART regressor with variance-reduction splitting."""
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        return np.asarray([float(y.mean())])
+
+    def _find_split(self, X: np.ndarray, y: np.ndarray, features: np.ndarray):
+        return _best_split_variance(X, y, features)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X = check_2d(X)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if y.size != X.shape[0]:
+            raise ValueError("X and y must have the same number of rows")
+        self._rng = np.random.default_rng(self.seed)
+        self._root = self._grow(X, y, depth=0)
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self)
+        X = check_2d(X)
+        return np.asarray([float(self._predict_row(row)[0]) for row in X])

@@ -1,0 +1,75 @@
+"""Road-category taxonomy.
+
+Mirrors the OpenStreetMap ``highway=*`` classes the paper's Danish network is
+built from.  Categories drive free-flow speeds in the traffic ground truth and
+are features of the hybrid model's classifier and estimator.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["RoadCategory", "FREE_FLOW_SPEED_KMH", "OSM_HIGHWAY_TO_CATEGORY"]
+
+
+class RoadCategory(Enum):
+    """Functional road class, ordered from highest to lowest capacity."""
+
+    MOTORWAY = "motorway"
+    TRUNK = "trunk"
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+    TERTIARY = "tertiary"
+    RESIDENTIAL = "residential"
+    SERVICE = "service"
+
+    @property
+    def free_flow_speed_kmh(self) -> float:
+        """Free-flow (speed-limit) travel speed in km/h."""
+        return FREE_FLOW_SPEED_KMH[self]
+
+    @property
+    def rank(self) -> int:
+        """0 for the highest-capacity class, increasing downwards."""
+        return _RANK[self]
+
+    @classmethod
+    def from_osm_highway(cls, tag: str) -> "RoadCategory":
+        """Map an OSM ``highway`` tag value onto a category.
+
+        Unknown drivable values map to :attr:`SERVICE` (the paper's network
+        keeps all drivable ways); link roads inherit their parent class.
+        """
+        tag = tag.strip().lower()
+        if tag.endswith("_link"):
+            tag = tag[: -len("_link")]
+        return OSM_HIGHWAY_TO_CATEGORY.get(tag, cls.SERVICE)
+
+
+#: Free-flow speeds (km/h) per category — Danish speed limits.
+FREE_FLOW_SPEED_KMH: dict[RoadCategory, float] = {
+    RoadCategory.MOTORWAY: 110.0,
+    RoadCategory.TRUNK: 90.0,
+    RoadCategory.PRIMARY: 80.0,
+    RoadCategory.SECONDARY: 60.0,
+    RoadCategory.TERTIARY: 50.0,
+    RoadCategory.RESIDENTIAL: 40.0,
+    RoadCategory.SERVICE: 20.0,
+}
+
+_RANK: dict[RoadCategory, int] = {
+    category: index for index, category in enumerate(RoadCategory)
+}
+
+#: OSM ``highway=*`` values accepted by the parser.
+OSM_HIGHWAY_TO_CATEGORY: dict[str, RoadCategory] = {
+    "motorway": RoadCategory.MOTORWAY,
+    "trunk": RoadCategory.TRUNK,
+    "primary": RoadCategory.PRIMARY,
+    "secondary": RoadCategory.SECONDARY,
+    "tertiary": RoadCategory.TERTIARY,
+    "unclassified": RoadCategory.TERTIARY,
+    "residential": RoadCategory.RESIDENTIAL,
+    "living_street": RoadCategory.RESIDENTIAL,
+    "service": RoadCategory.SERVICE,
+}

@@ -1,0 +1,69 @@
+"""JSON serialisation of road networks.
+
+A stable on-disk format so experiments can pin the exact network they ran on
+and tests can ship small fixture graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .categories import RoadCategory
+from .graph import RoadNetwork
+
+__all__ = ["network_to_dict", "network_from_dict", "save_network", "load_network"]
+
+_FORMAT_VERSION = 1
+
+
+def network_to_dict(network: RoadNetwork) -> dict[str, Any]:
+    """Serialise a network to a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "vertices": [
+            {"id": v.id, "x": v.x, "y": v.y} for v in network.vertices()
+        ],
+        "edges": [
+            {
+                "source": e.source,
+                "target": e.target,
+                "length": e.length,
+                "category": e.category.value,
+            }
+            for e in network.edges
+        ],
+    }
+
+
+def network_from_dict(payload: dict[str, Any]) -> RoadNetwork:
+    """Inverse of :func:`network_to_dict`.
+
+    Edge ids are reassigned densely in list order, which the serialiser
+    guarantees matches the original ids.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported network format version: {version!r}")
+    network = RoadNetwork()
+    for vertex in payload["vertices"]:
+        network.add_vertex(int(vertex["id"]), float(vertex["x"]), float(vertex["y"]))
+    for edge in payload["edges"]:
+        network.add_edge(
+            int(edge["source"]),
+            int(edge["target"]),
+            length=float(edge["length"]),
+            category=RoadCategory(edge["category"]),
+        )
+    return network
+
+
+def save_network(network: RoadNetwork, path: str | Path) -> None:
+    """Write a network to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(network_to_dict(network)))
+
+
+def load_network(path: str | Path) -> RoadNetwork:
+    """Read a network previously written by :func:`save_network`."""
+    return network_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,26 @@
+"""Probabilistic budget routing.
+
+Best-first PBR search with the paper's four prunings (optimistic heuristic,
+pivot path, cost shifting, stochastic dominance), the anytime extension, and
+baselines (expected-time Dijkstra, exhaustive oracle).
+"""
+
+from .anytime import AnytimePoint, AnytimeRouter
+from .baselines import all_simple_paths, exhaustive_best_path, expected_time_path
+from .budget import ProbabilisticBudgetRouter, PruningConfig
+from .heuristics import OptimisticHeuristic
+from .query import RoutingQuery, RoutingResult, SearchStats
+
+__all__ = [
+    "AnytimePoint",
+    "AnytimeRouter",
+    "OptimisticHeuristic",
+    "ProbabilisticBudgetRouter",
+    "PruningConfig",
+    "RoutingQuery",
+    "RoutingResult",
+    "SearchStats",
+    "all_simple_paths",
+    "exhaustive_best_path",
+    "expected_time_path",
+]

@@ -1,0 +1,74 @@
+"""The anytime extension of probabilistic budget routing.
+
+The paper: "we give an acceptable maximum run-time x as an additional input,
+and the algorithm returns the pivot path if search has not terminated after x
+time units."  :class:`AnytimeRouter` wraps the base router with that contract
+plus a sweep helper used by the quality-vs-time experiment (E8) and the
+anytime columns P1/P5/P10 of the quality table (E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.models import CostCombiner
+from ..network import RoadNetwork
+from .budget import ProbabilisticBudgetRouter, PruningConfig
+from .query import RoutingQuery, RoutingResult
+
+__all__ = ["AnytimePoint", "AnytimeRouter"]
+
+
+@dataclass(frozen=True)
+class AnytimePoint:
+    """One point of a quality-vs-time curve."""
+
+    time_limit_seconds: float
+    probability: float
+    completed: bool
+    num_edges: int
+
+
+class AnytimeRouter:
+    """PBR with a wall-clock budget; returns the pivot on expiry."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        combiner: CostCombiner,
+        *,
+        pruning: PruningConfig | None = None,
+    ) -> None:
+        self._router = ProbabilisticBudgetRouter(network, combiner, pruning=pruning)
+
+    def route(self, query: RoutingQuery, time_limit_seconds: float) -> RoutingResult:
+        """Answer within ``time_limit_seconds`` (pivot path on timeout)."""
+        if time_limit_seconds <= 0:
+            raise ValueError("time_limit_seconds must be positive")
+        return self._router.route(query, time_limit_seconds=time_limit_seconds)
+
+    def route_unbounded(self, query: RoutingQuery) -> RoutingResult:
+        """The P-infinity reference: run the search to completion."""
+        return self._router.route(query)
+
+    def quality_curve(
+        self, query: RoutingQuery, time_limits: list[float]
+    ) -> list[AnytimePoint]:
+        """Re-run the query under each time limit (ascending sweep).
+
+        Each limit is an independent run — the anytime algorithm is
+        deterministic given a limit, so the curve shows exactly what a user
+        asking for at most ``x`` seconds would have received.
+        """
+        points = []
+        for limit in sorted(time_limits):
+            result = self.route(query, limit)
+            points.append(
+                AnytimePoint(
+                    time_limit_seconds=limit,
+                    probability=result.probability,
+                    completed=result.stats.completed,
+                    num_edges=result.num_edges,
+                )
+            )
+        return points

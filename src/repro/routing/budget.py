@@ -1,0 +1,267 @@
+"""Probabilistic Budget Routing — the paper's base algorithm.
+
+Given source, destination and a time budget ``t``, find the path maximising
+``P(arrival within t)``.  Best-first search over labels (partial paths with
+cost distributions computed by any :class:`~repro.core.models.CostCombiner`),
+with the paper's four prunings, each independently switchable for ablation:
+
+(a) **optimistic heuristic** — an A*-inspired lower bound on remaining cost
+    from a reverse Dijkstra over minimum edge times; labels that cannot reach
+    the destination are dropped immediately;
+(b) **pivot path** — the most promising complete path found so far; any
+    label whose upper-bound probability cannot beat the pivot is pruned, and
+    the search terminates when the best queued label cannot beat it either;
+(c) **distribution cost shifting** — the upper bound shifts the label's
+    distribution by the optimistic remaining cost before evaluating the
+    budget CDF, tightening (a)+(b) substantially;
+(d) **stochastic dominance** — per-vertex Pareto frontiers; a label
+    first-order dominated by a previously kept label at the same vertex is
+    discarded.
+
+The **anytime extension** is the ``time_limit_seconds`` parameter: when the
+wall clock expires the search stops and returns the pivot path (the paper's
+"acceptable maximum run-time x" input).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass
+
+from ..core.models import CostCombiner
+from ..histograms import DiscreteDistribution, ParetoFrontier
+from ..network import Edge, RoadNetwork
+from .heuristics import OptimisticHeuristic
+from .query import RoutingQuery, RoutingResult, SearchStats
+
+__all__ = ["PruningConfig", "ProbabilisticBudgetRouter"]
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Which prunings the search applies (all on = the paper's algorithm)."""
+
+    use_heuristic: bool = True
+    use_pivot: bool = True
+    use_cost_shifting: bool = True
+    use_dominance: bool = True
+    max_frontier_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.use_cost_shifting and not self.use_heuristic:
+            raise ValueError("cost shifting requires the optimistic heuristic")
+        if self.max_frontier_size is not None and self.max_frontier_size < 1:
+            raise ValueError("max_frontier_size must be >= 1 when given")
+
+
+@dataclass
+class _Label:
+    """A partial path: head vertex, cost distribution, parent chain."""
+
+    vertex: int
+    distribution: DiscreteDistribution
+    edge: Edge | None
+    parent: "_Label | None"
+    visited: frozenset[int]
+
+    def path(self) -> tuple[Edge, ...]:
+        edges: list[Edge] = []
+        node: _Label | None = self
+        while node is not None and node.edge is not None:
+            edges.append(node.edge)
+            node = node.parent
+        edges.reverse()
+        return tuple(edges)
+
+
+class ProbabilisticBudgetRouter:
+    """Best-first PBR search over any cost combiner.
+
+    The search explores simple paths (no vertex revisits within a label's
+    own path) — with non-negative travel times a revisit can never increase
+    the arrival probability.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        combiner: CostCombiner,
+        *,
+        pruning: PruningConfig | None = None,
+    ) -> None:
+        self.network = network
+        self.combiner = combiner
+        self.pruning = pruning or PruningConfig()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _clip(self, dist: DiscreteDistribution, budget: int) -> DiscreteDistribution:
+        """Fold all mass beyond ``budget`` into one cell.
+
+        Exact for the objective *under convolution*: mass above the budget
+        contributes nothing to ``P(cost <= budget)`` wherever it sits, and
+        folding both operands of any dominance comparison at the same
+        boundary preserves the CDF comparison below it.  Learned combiners
+        extract features from the label distribution, so folding would
+        corrupt their inputs — clipping is skipped unless the combiner
+        declares ``exact_under_truncation``.
+        """
+        if not self.combiner.exact_under_truncation:
+            return dist
+        max_support = budget + 2 - dist.offset
+        if max_support < 1:
+            # Entire support is beyond the budget; keep a single cell.
+            return dist.truncate(1)
+        return dist.truncate(max_support)
+
+    def _upper_bound(
+        self,
+        heuristic: OptimisticHeuristic,
+        dist: DiscreteDistribution,
+        vertex: int,
+        budget: int,
+    ) -> float:
+        if self.pruning.use_heuristic:
+            return heuristic.upper_bound_probability(
+                dist, vertex, budget, use_shift=self.pruning.use_cost_shifting
+            )
+        return dist.prob_within(budget)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def route(
+        self,
+        query: RoutingQuery,
+        *,
+        time_limit_seconds: float | None = None,
+    ) -> RoutingResult:
+        """Answer one query; ``time_limit_seconds`` enables anytime mode.
+
+        Always returns a result: the optimal path when the search ran to
+        completion (``stats.completed``), the pivot path when the anytime
+        limit expired, and an empty path when the target is unreachable.
+        """
+        start_time = time.perf_counter()
+        stats = SearchStats()
+        heuristic = OptimisticHeuristic(self.network, self.combiner.costs, query.target)
+
+        if not heuristic.reachable(query.source):
+            stats.completed = True
+            stats.runtime_seconds = time.perf_counter() - start_time
+            return RoutingResult(query, (), None, 0.0, stats)
+
+        pivot: _Label | None = None
+        pivot_probability = -1.0
+        frontiers: dict[int, ParetoFrontier] = {}
+        counter = itertools.count()
+        heap: list[tuple[float, int, _Label]] = []
+
+        def consider(label: _Label) -> None:
+            """Apply admission prunings and push the label."""
+            nonlocal pivot, pivot_probability
+            stats.labels_generated += 1
+            if self.pruning.use_heuristic and not heuristic.reachable(label.vertex):
+                stats.pruned_unreachable += 1
+                return
+            bound = self._upper_bound(heuristic, label.distribution, label.vertex, query.budget)
+            if bound <= 0.0:
+                stats.pruned_by_bound += 1
+                return
+            if self.pruning.use_pivot and bound <= pivot_probability:
+                stats.pruned_by_bound += 1
+                return
+            if self.pruning.use_dominance and label.vertex != query.target:
+                frontier = frontiers.get(label.vertex)
+                if frontier is None:
+                    frontier = ParetoFrontier(max_size=self.pruning.max_frontier_size)
+                    frontiers[label.vertex] = frontier
+                if not frontier.add(label.distribution):
+                    stats.pruned_by_dominance += 1
+                    return
+            heapq.heappush(heap, (-bound, next(counter), label))
+
+        for edge in self.network.out_edges(query.source):
+            if edge.target == query.source:
+                continue
+            dist = self._clip(self.combiner.edge_cost(edge), query.budget)
+            consider(
+                _Label(
+                    vertex=edge.target,
+                    distribution=dist,
+                    edge=edge,
+                    parent=None,
+                    visited=frozenset((query.source, edge.target)),
+                )
+            )
+
+        while heap:
+            if time_limit_seconds is not None and (
+                time.perf_counter() - start_time
+            ) > time_limit_seconds:
+                stats.completed = False
+                break
+            neg_bound, _, label = heapq.heappop(heap)
+            bound = -neg_bound
+            if self.pruning.use_pivot and bound <= pivot_probability:
+                # Best-first order: nothing left can beat the pivot.
+                stats.pruned_by_bound += 1
+                break
+            if label.vertex == query.target:
+                probability = label.distribution.prob_within(query.budget)
+                if probability > pivot_probability:
+                    pivot = label
+                    pivot_probability = probability
+                    stats.pivot_updates += 1
+                continue
+            stats.labels_expanded += 1
+            for edge in self.network.out_edges(label.vertex):
+                if edge.target in label.visited:
+                    continue
+                combined = self._clip(
+                    self.combiner.combine(label.distribution, edge), query.budget
+                )
+                consider(
+                    _Label(
+                        vertex=edge.target,
+                        distribution=combined,
+                        edge=edge,
+                        parent=label,
+                        visited=label.visited | {edge.target},
+                    )
+                )
+
+        stats.runtime_seconds = time.perf_counter() - start_time
+        if pivot is None:
+            # No complete path beat probability 0 within the budget (or the
+            # anytime limit fired before any arrival) — fall back to the
+            # optimistically fastest path so callers always get a route.
+            from ..network.paths import shortest_path
+
+            try:
+                path = shortest_path(
+                    self.network,
+                    query.source,
+                    query.target,
+                    weight=lambda edge: float(self.combiner.costs.min_ticks(edge)),
+                )
+            except ValueError:
+                return RoutingResult(query, (), None, 0.0, stats)
+            from ..core.path_cost import PathCostComputer
+
+            dist = PathCostComputer(self.combiner).cost(path)
+            return RoutingResult(
+                query, tuple(path), dist, dist.prob_within(query.budget), stats
+            )
+        return RoutingResult(
+            query,
+            pivot.path(),
+            pivot.distribution,
+            pivot_probability,
+            stats,
+        )

@@ -1,0 +1,62 @@
+"""Optimistic remaining-cost heuristic (PBR pruning rule (a)).
+
+An A*-inspired lower bound: ``h(v)`` is the minimum *possible* travel time
+(in ticks) from ``v`` to the destination, computed by a reverse Dijkstra over
+each edge's minimum histogram value.  Because no path realisation can beat
+``h``, shifting a label's distribution by ``h(v)`` (rule (c), cost shifting)
+yields an upper bound on the label's achievable arrival probability that is
+sound for pruning against the pivot path.
+"""
+
+from __future__ import annotations
+
+from ..core.costs import EdgeCostTable
+from ..histograms import DiscreteDistribution
+from ..network import RoadNetwork
+from ..network.paths import reverse_dijkstra
+
+__all__ = ["OptimisticHeuristic"]
+
+
+class OptimisticHeuristic:
+    """Per-destination table of optimistic remaining costs (ticks)."""
+
+    def __init__(self, network: RoadNetwork, costs: EdgeCostTable, target: int) -> None:
+        self.network = network
+        self.target = target
+        self._table = reverse_dijkstra(
+            network, target, weight=lambda edge: float(costs.min_ticks(edge))
+        )
+
+    def reachable(self, vertex_id: int) -> bool:
+        """True when the destination is reachable from ``vertex_id``."""
+        return vertex_id in self._table
+
+    def remaining_ticks(self, vertex_id: int) -> int:
+        """Lower bound on ticks from ``vertex_id`` to the destination.
+
+        Raises ``KeyError`` for vertices that cannot reach the destination;
+        call :meth:`reachable` first.
+        """
+        return int(self._table[vertex_id])
+
+    def upper_bound_probability(
+        self,
+        distribution: DiscreteDistribution,
+        vertex_id: int,
+        budget: int,
+        *,
+        use_shift: bool = True,
+    ) -> float:
+        """Upper bound on the arrival probability of any completion.
+
+        With cost shifting the label's distribution is translated by the
+        optimistic remaining cost before evaluating the budget CDF; without
+        it the bound degrades to ``P(cost so far <= budget)`` (still sound,
+        strictly looser — this is what the rule-(c) ablation measures).
+        """
+        if not self.reachable(vertex_id):
+            return 0.0
+        if use_shift:
+            return distribution.prob_within(budget - self.remaining_ticks(vertex_id))
+        return distribution.prob_within(budget)

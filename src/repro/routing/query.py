@@ -1,0 +1,77 @@
+"""Routing query/result value types and search statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..histograms import DiscreteDistribution
+from ..network import Edge
+
+__all__ = ["RoutingQuery", "SearchStats", "RoutingResult"]
+
+
+@dataclass(frozen=True)
+class RoutingQuery:
+    """Probabilistic budget routing query.
+
+    Find the path from ``source`` to ``target`` maximising
+    ``P(travel time <= budget)``; ``budget`` is in distribution grid ticks.
+    """
+
+    source: int
+    target: int
+    budget: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError("source and target must differ")
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1 tick")
+
+
+@dataclass
+class SearchStats:
+    """Observability counters for one PBR search."""
+
+    labels_generated: int = 0
+    labels_expanded: int = 0
+    pruned_by_bound: int = 0
+    pruned_by_dominance: int = 0
+    pruned_unreachable: int = 0
+    pivot_updates: int = 0
+    runtime_seconds: float = 0.0
+    completed: bool = True
+
+    @property
+    def pruned_total(self) -> int:
+        return self.pruned_by_bound + self.pruned_by_dominance + self.pruned_unreachable
+
+
+@dataclass(frozen=True)
+class RoutingResult:
+    """Answer to one query.
+
+    ``probability`` is the model's (combiner's) ``P(cost <= budget)`` for the
+    returned path — the quantity PBR maximises.  ``path`` is empty only when
+    the target is unreachable.
+    """
+
+    query: RoutingQuery
+    path: tuple[Edge, ...]
+    distribution: DiscreteDistribution | None
+    probability: float
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def found(self) -> bool:
+        return len(self.path) > 0
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.path)
+
+    def path_vertices(self) -> list[int]:
+        """Vertex sequence of the returned path."""
+        if not self.path:
+            return []
+        return [self.path[0].source, *(edge.target for edge in self.path)]

@@ -1,0 +1,228 @@
+"""HMM map matching: raw GPS traces to edge sequences.
+
+The paper's histograms are built from map-matched GPS trajectories.  We
+implement the standard hidden-Markov matcher (Newson & Krumm style): hidden
+states are candidate edges near each fix, emission likelihood is Gaussian in
+the point-to-edge distance, and transitions prefer candidates whose network
+connection distance agrees with the distance the vehicle actually moved.
+Viterbi decoding yields the most likely edge sequence, which is then
+compressed into per-edge traversals with travel times allocated from the fix
+timestamps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..network import Edge, GridIndex, RoadNetwork, free_flow_weight
+from ..network.paths import dijkstra
+from .types import EdgeTraversal, GpsTrajectory, MatchedTrajectory
+
+__all__ = ["MatcherConfig", "HmmMapMatcher"]
+
+
+@dataclass(frozen=True)
+class MatcherConfig:
+    """Map-matcher tuning parameters.
+
+    ``gps_noise_std`` should match the emitter's noise level; ``beta`` scales
+    the transition penalty on the mismatch between great-circle displacement
+    and network routing distance (larger = more permissive).
+    """
+
+    candidate_radius: float = 60.0
+    max_candidates: int = 8
+    gps_noise_std: float = 10.0
+    beta: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.candidate_radius <= 0:
+            raise ValueError("candidate_radius must be positive")
+        if self.max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
+        if self.gps_noise_std <= 0:
+            raise ValueError("gps_noise_std must be positive")
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+
+
+class HmmMapMatcher:
+    """Viterbi map matcher over a road network."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        *,
+        index: GridIndex | None = None,
+        config: MatcherConfig | None = None,
+        resolution: float = 5.0,
+    ) -> None:
+        self.network = network
+        self.config = config or MatcherConfig()
+        self.index = index or GridIndex(network, cell_size=max(self.config.candidate_radius * 4, 200.0))
+        self.resolution = float(resolution)
+        self._route_cache: dict[tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # HMM pieces
+    # ------------------------------------------------------------------
+
+    def _candidates(self, x: float, y: float) -> list[tuple[Edge, float]]:
+        hits = self.index.edges_within(x, y, self.config.candidate_radius)
+        return hits[: self.config.max_candidates]
+
+    def _emission_logprob(self, distance: float) -> float:
+        sigma = self.config.gps_noise_std
+        return -0.5 * (distance / sigma) ** 2
+
+    def _network_distance(self, from_edge: Edge, to_edge: Edge) -> float:
+        """Free-flow network distance (metres) from ``from_edge``'s target to
+        ``to_edge``'s source, cached; staying on the same edge costs zero."""
+        if from_edge.id == to_edge.id:
+            return 0.0
+        if from_edge.target == to_edge.source:
+            return 0.0
+        key = (from_edge.target, to_edge.source)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        dist, _ = dijkstra(
+            self.network,
+            from_edge.target,
+            weight=lambda e: e.length,
+            targets={to_edge.source},
+        )
+        value = dist.get(to_edge.source, math.inf)
+        self._route_cache[key] = value
+        return value
+
+    def _transition_logprob(
+        self, from_edge: Edge, to_edge: Edge, moved: float
+    ) -> float:
+        """Newson–Krumm style transition: penalise the gap between network
+        routing distance and the straight-line displacement of the fix pair."""
+        route = self._network_distance(from_edge, to_edge)
+        if math.isinf(route):
+            return -math.inf
+        return -abs(route - moved) / self.config.beta
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+
+    def match_edges(self, trajectory: GpsTrajectory) -> list[Edge]:
+        """Viterbi-decode the most likely edge per fix, compressed.
+
+        Returns the deduplicated edge sequence; raises ``ValueError`` when no
+        fix has any candidate edge (trace is off-network).
+        """
+        observations = [
+            (point, self._candidates(point.x, point.y)) for point in trajectory.points
+        ]
+        observations = [(p, c) for p, c in observations if c]
+        if not observations:
+            raise ValueError(f"trajectory {trajectory.id}: no candidates near any fix")
+
+        # Viterbi over the filtered fixes.
+        first_point, first_cands = observations[0]
+        scores: dict[int, float] = {
+            edge.id: self._emission_logprob(d) for edge, d in first_cands
+        }
+        cand_edges: dict[int, Edge] = {edge.id: edge for edge, _ in first_cands}
+        back: list[dict[int, int]] = [{}]
+        previous_point = first_point
+        previous_ids = list(scores)
+
+        for point, candidates in observations[1:]:
+            moved = math.hypot(point.x - previous_point.x, point.y - previous_point.y)
+            new_scores: dict[int, float] = {}
+            pointers: dict[int, int] = {}
+            for edge, distance in candidates:
+                cand_edges[edge.id] = edge
+                emission = self._emission_logprob(distance)
+                best_prev, best_score = None, -math.inf
+                for prev_id in previous_ids:
+                    transition = self._transition_logprob(
+                        cand_edges[prev_id], edge, moved
+                    )
+                    score = scores[prev_id] + transition
+                    if score > best_score:
+                        best_prev, best_score = prev_id, score
+                if best_prev is None:
+                    continue
+                new_scores[edge.id] = best_score + emission
+                pointers[edge.id] = best_prev
+            if not new_scores:
+                # Broken chain (e.g. GPS gap): restart scoring at this fix.
+                new_scores = {
+                    edge.id: self._emission_logprob(d) for edge, d in candidates
+                }
+                pointers = {}
+            scores = new_scores
+            previous_ids = list(scores)
+            back.append(pointers)
+            previous_point = point
+
+        # Backtrack.
+        current = max(scores, key=lambda edge_id: scores[edge_id])
+        sequence = [current]
+        for pointers in reversed(back[1:]):
+            nxt = pointers.get(current)
+            if nxt is None:
+                break
+            current = nxt
+            sequence.append(current)
+        sequence.reverse()
+
+        edges: list[Edge] = []
+        for edge_id in sequence:
+            if not edges or edges[-1].id != edge_id:
+                edges.append(cand_edges[edge_id])
+        return self._stitch(edges)
+
+    def _stitch(self, edges: list[Edge]) -> list[Edge]:
+        """Insert shortest-path gap edges so the output is a connected path."""
+        if len(edges) < 2:
+            return edges
+        out = [edges[0]]
+        for edge in edges[1:]:
+            previous = out[-1]
+            if previous.target != edge.source:
+                dist, parent = dijkstra(
+                    self.network,
+                    previous.target,
+                    weight=lambda e: e.length,
+                    targets={edge.source},
+                )
+                if edge.source in dist:
+                    from ..network.paths import reconstruct_path
+
+                    out.extend(reconstruct_path(parent, previous.target, edge.source))
+                else:
+                    # Unbridgeable gap: drop the stranded candidate.
+                    continue
+            out.append(edge)
+        return out
+
+    def match(self, trajectory: GpsTrajectory) -> MatchedTrajectory:
+        """Full matching: edge sequence plus per-edge travel-time allocation.
+
+        The trace duration is distributed over the matched edges
+        proportionally to free-flow traversal times, then rounded to grid
+        ticks (>= 1 per edge).
+        """
+        edges = self.match_edges(trajectory)
+        if not edges:
+            raise ValueError(f"trajectory {trajectory.id}: no edges matched")
+        duration = max(trajectory.duration, self.resolution * len(edges))
+        weights = [free_flow_weight(edge) for edge in edges]
+        total_weight = sum(weights)
+        traversals = []
+        clock = 0
+        for edge, weight in zip(edges, weights):
+            seconds = duration * weight / total_weight
+            ticks = max(1, int(round(seconds / self.resolution)))
+            traversals.append(EdgeTraversal(edge.id, clock, ticks))
+            clock += ticks
+        return MatchedTrajectory(trajectory.id, tuple(traversals))

@@ -1,0 +1,95 @@
+"""Trajectory value types: GPS traces and map-matched edge traversals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["GpsPoint", "GpsTrajectory", "EdgeTraversal", "MatchedTrajectory"]
+
+
+@dataclass(frozen=True, slots=True)
+class GpsPoint:
+    """One GPS fix: planar coordinates (metres) and a timestamp (seconds)."""
+
+    t: float
+    x: float
+    y: float
+
+
+@dataclass(frozen=True, slots=True)
+class GpsTrajectory:
+    """A raw GPS trace as recorded by a vehicle."""
+
+    id: int
+    points: tuple[GpsPoint, ...]
+
+    def __post_init__(self) -> None:
+        times = [p.t for p in self.points]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError(f"trajectory {self.id}: timestamps must be non-decreasing")
+
+    @property
+    def duration(self) -> float:
+        """Total recorded duration in seconds (0 for empty traces)."""
+        if len(self.points) < 2:
+            return 0.0
+        return self.points[-1].t - self.points[0].t
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeTraversal:
+    """One traversal of one edge.
+
+    ``travel_time`` is in grid ticks (see the congestion model's
+    ``resolution``); ``enter_time`` is in ticks since the trip start.
+    """
+
+    edge_id: int
+    enter_time: int
+    travel_time: int
+
+    def __post_init__(self) -> None:
+        if self.travel_time < 1:
+            raise ValueError(f"traversal of edge {self.edge_id}: travel time must be >= 1 tick")
+
+
+@dataclass(frozen=True, slots=True)
+class MatchedTrajectory:
+    """A map-matched trip: the edge sequence with per-edge travel times."""
+
+    id: int
+    traversals: tuple[EdgeTraversal, ...]
+
+    @property
+    def edge_ids(self) -> tuple[int, ...]:
+        return tuple(t.edge_id for t in self.traversals)
+
+    @property
+    def total_travel_time(self) -> int:
+        """Trip duration in ticks."""
+        return sum(t.travel_time for t in self.traversals)
+
+    def consecutive_pairs(self) -> list[tuple[EdgeTraversal, EdgeTraversal]]:
+        """Adjacent traversal pairs — the unit of pair-statistics extraction."""
+        return list(zip(self.traversals, self.traversals[1:]))
+
+    def __len__(self) -> int:
+        return len(self.traversals)
+
+    @classmethod
+    def from_times(
+        cls, trip_id: int, edge_ids: Sequence[int], travel_times: Sequence[int]
+    ) -> "MatchedTrajectory":
+        """Build from parallel edge-id / travel-time sequences."""
+        if len(edge_ids) != len(travel_times):
+            raise ValueError("edge_ids and travel_times must have equal length")
+        traversals = []
+        clock = 0
+        for edge_id, travel_time in zip(edge_ids, travel_times):
+            traversals.append(EdgeTraversal(int(edge_id), clock, int(travel_time)))
+            clock += int(travel_time)
+        return cls(trip_id, tuple(traversals))

@@ -1,0 +1,182 @@
+"""Unit tests for the training pipeline internals."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainingConfig, train_hybrid
+from repro.core.estimator import DistributionEstimator, EstimatorConfig
+from repro.core.training import PairExample, _labels_for
+from repro.histograms import DiscreteDistribution
+from repro.ml import MlpConfig
+from repro.network import grid_network
+from repro.trajectories import CongestionModel, TrajectoryStore, TripGenerator
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    network = grid_network(5, 5, seed=9)
+    traffic = CongestionModel(network, seed=9)
+    store = TrajectoryStore()
+    store.add_all(TripGenerator(network, traffic, seed=9).generate(2500))
+    return network, traffic, store
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        num_train_pairs=60,
+        num_test_pairs=20,
+        min_pair_samples=30,
+        estimator=EstimatorConfig(
+            num_bins=16, mlp=MlpConfig(hidden_sizes=(16,), max_epochs=10, seed=0)
+        ),
+        seed=1,
+    )
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_defaults(self):
+        TrainingConfig()
+
+    def test_counts(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(num_train_pairs=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(min_pair_samples=1)
+        with pytest.raises(ValueError):
+            TrainingConfig(resolution=0.0)
+
+    def test_virtual_example_constraints(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(num_virtual_examples=-1)
+        with pytest.raises(ValueError):
+            TrainingConfig(virtual_max_prepath=1)
+        with pytest.raises(ValueError):
+            TrainingConfig(refinement_rounds=1, num_virtual_examples=0)
+
+
+class TestTrainHybrid:
+    def test_split_proportion_preserved(self, tiny_world):
+        network, _, store = tiny_world
+        trained = train_hybrid(network, store, fast_config())
+        report = trained.report
+        total = report.num_train_pairs + report.num_test_pairs
+        available = len(store.pair_keys_with_data(min_samples=30))
+        assert total == min(available, 80)
+        # 60/80 requested -> 75% train share when fewer pairs exist.
+        assert report.num_train_pairs / total == pytest.approx(0.75, abs=0.05)
+
+    def test_empty_store_raises(self, tiny_world):
+        network, *_ = tiny_world
+        with pytest.raises(ValueError):
+            train_hybrid(network, TrajectoryStore(), fast_config())
+
+    def test_virtual_requires_model(self, tiny_world):
+        network, _, store = tiny_world
+        with pytest.raises(ValueError):
+            train_hybrid(network, store, fast_config(num_virtual_examples=10))
+
+    def test_virtual_examples_added(self, tiny_world):
+        network, traffic, store = tiny_world
+        trained = train_hybrid(
+            network,
+            store,
+            fast_config(num_virtual_examples=40, virtual_max_prepath=6),
+            traffic_model=traffic,
+        )
+        # Training-set size in the report includes the augmentation.
+        base = train_hybrid(network, store, fast_config())
+        assert (
+            trained.report.num_train_pairs
+            == base.report.num_train_pairs + 40
+        )
+
+    def test_refinement_grows_training_set(self, tiny_world):
+        network, traffic, store = tiny_world
+        refined = train_hybrid(
+            network,
+            store,
+            fast_config(
+                num_virtual_examples=30, virtual_max_prepath=5, refinement_rounds=1
+            ),
+            traffic_model=traffic,
+        )
+        once = train_hybrid(
+            network,
+            store,
+            fast_config(num_virtual_examples=30, virtual_max_prepath=5),
+            traffic_model=traffic,
+        )
+        assert refined.report.num_train_pairs == once.report.num_train_pairs + 30
+
+    def test_report_improvement_sign(self, tiny_world):
+        network, traffic, store = tiny_world
+        trained = train_hybrid(
+            network,
+            store,
+            fast_config(num_virtual_examples=40),
+            traffic_model=traffic,
+        )
+        improvement = trained.report.improvement_over_convolution()
+        assert improvement == pytest.approx(
+            1.0 - trained.report.kl_hybrid / trained.report.kl_convolution
+        )
+
+    def test_combiner_accessors_share_cost_table(self, tiny_world):
+        network, _, store = tiny_world
+        trained = train_hybrid(network, store, fast_config())
+        assert trained.hybrid_model().costs is trained.costs
+        assert trained.convolution_model().costs is trained.costs
+        assert trained.estimation_model().costs is trained.costs
+
+
+class TestLabelDerivation:
+    def _example(self, label_truth=None):
+        pre = DiscreteDistribution.from_mapping({2: 0.5, 3: 0.5})
+        edge_cost = DiscreteDistribution.from_mapping({4: 0.5, 5: 0.5})
+        truth = DiscreteDistribution.from_mapping({6: 0.5, 8: 0.5})
+        estimator = DistributionEstimator(
+            EstimatorConfig(
+                num_bins=8,
+                mlp=MlpConfig(
+                    hidden_sizes=(8,),
+                    max_epochs=500,
+                    learning_rate=0.05,
+                    seed=0,
+                    validation_fraction=0.0,
+                ),
+            )
+        )
+        features = np.zeros(5)
+        target = estimator.target_profile(truth, pre, edge_cost)
+        estimator.fit(np.tile(features, (10, 1)), np.tile(target, (10, 1)))
+        example = PairExample(
+            key=(0, 1),
+            features=features,
+            target=target,
+            truth=truth,
+            pre=pre,
+            edge_cost=edge_cost,
+            label_truth=label_truth,
+        )
+        return example, estimator
+
+    def test_estimation_wins_on_memorised_pair(self):
+        example, estimator = self._example()
+        labels, kl_conv, kl_est = _labels_for([example], estimator)
+        assert labels[0] == 1
+        assert kl_est[0] < kl_conv[0]
+
+    def test_label_truth_preferred_when_present(self):
+        # Give a label_truth equal to the convolution -> convolution wins.
+        pre = DiscreteDistribution.from_mapping({2: 0.5, 3: 0.5})
+        edge_cost = DiscreteDistribution.from_mapping({4: 0.5, 5: 0.5})
+        conv_truth = pre.convolve(edge_cost)
+        example, estimator = self._example(label_truth=conv_truth)
+        labels_with, _, _ = _labels_for([example], estimator)
+        labels_without, _, _ = _labels_for(
+            [example], estimator, use_label_truth=False
+        )
+        assert labels_with[0] == 0
+        assert labels_without[0] == 1

@@ -1,0 +1,80 @@
+"""Unit tests for distribution metrics."""
+
+import math
+
+import pytest
+
+from repro.histograms import (
+    DiscreteDistribution,
+    cross_entropy,
+    hellinger,
+    js_divergence,
+    kl_divergence,
+    total_variation,
+    wasserstein,
+)
+
+
+def d(mapping):
+    return DiscreteDistribution.from_mapping(mapping)
+
+
+class TestKl:
+    def test_zero_on_identical(self):
+        a = d({1: 0.5, 2: 0.5})
+        assert kl_divergence(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_motivating_example_value(self):
+        truth = d({30: 0.5, 40: 0.5})
+        conv = d({30: 0.25, 35: 0.5, 40: 0.25})
+        assert kl_divergence(truth, conv) == pytest.approx(math.log(2))
+
+    def test_asymmetric(self):
+        a = d({1: 0.5, 2: 0.5})
+        b = d({1: 0.9, 2: 0.1})
+        assert kl_divergence(a, b) != pytest.approx(kl_divergence(b, a))
+
+    def test_disjoint_support_finite_with_smoothing(self):
+        a = d({1: 1.0})
+        b = d({10: 1.0})
+        value = kl_divergence(a, b)
+        assert math.isfinite(value)
+        assert value > 5.0
+
+    def test_cross_entropy_decomposition(self):
+        a = d({1: 0.5, 2: 0.5})
+        b = d({1: 0.25, 2: 0.75})
+        assert cross_entropy(a, b) == pytest.approx(
+            a.entropy() + kl_divergence(a, b), abs=1e-6
+        )
+
+
+class TestOtherMetrics:
+    def test_js_of_identical_is_zero(self):
+        a = d({3: 1.0})
+        assert js_divergence(a, a) == pytest.approx(0.0, abs=1e-12)
+
+    def test_js_of_disjoint_is_ln2(self):
+        assert js_divergence(d({1: 1.0}), d({9: 1.0})) == pytest.approx(math.log(2))
+
+    def test_total_variation_disjoint_is_one(self):
+        assert total_variation(d({1: 1.0}), d({9: 1.0})) == pytest.approx(1.0)
+
+    def test_total_variation_half_overlap(self):
+        a = d({1: 0.5, 2: 0.5})
+        b = d({2: 0.5, 3: 0.5})
+        assert total_variation(a, b) == pytest.approx(0.5)
+
+    def test_hellinger_bounds(self):
+        assert hellinger(d({1: 1.0}), d({9: 1.0})) == pytest.approx(1.0)
+        a = d({1: 0.5, 2: 0.5})
+        assert hellinger(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_wasserstein_point_masses(self):
+        assert wasserstein(d({0: 1.0}), d({7: 1.0})) == pytest.approx(7.0)
+
+    def test_wasserstein_triangle_inequality(self):
+        a = d({0: 1.0})
+        b = d({3: 0.5, 5: 0.5})
+        c = d({9: 1.0})
+        assert wasserstein(a, c) <= wasserstein(a, b) + wasserstein(b, c) + 1e-9

@@ -1,0 +1,118 @@
+"""Unit tests for compound histogram operations."""
+
+import numpy as np
+import pytest
+
+from repro.histograms import (
+    DiscreteDistribution,
+    delay_profile,
+    from_delay_profile,
+    mixture,
+    project_onto_window,
+    scale_values,
+    shape_profile,
+)
+
+
+def d(mapping):
+    return DiscreteDistribution.from_mapping(mapping)
+
+
+class TestMixture:
+    def test_two_component_mixture(self):
+        m = mixture([d({1: 1.0}), d({3: 1.0})], [0.25, 0.75])
+        assert m.to_mapping() == pytest.approx({1: 0.25, 3: 0.75})
+
+    def test_weights_normalized(self):
+        m = mixture([d({1: 1.0}), d({2: 1.0})], [2.0, 2.0])
+        assert m.prob_at(1) == pytest.approx(0.5)
+
+    def test_single_component_identity(self):
+        a = d({2: 0.5, 4: 0.5})
+        assert mixture([a], [1.0]).allclose(a)
+
+    def test_mean_is_weighted_mean(self):
+        a, b = d({0: 1.0}), d({10: 1.0})
+        m = mixture([a, b], [0.3, 0.7])
+        assert m.mean() == pytest.approx(7.0)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            mixture([], [])
+        with pytest.raises(ValueError):
+            mixture([d({1: 1.0})], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mixture([d({1: 1.0})], [-1.0])
+        with pytest.raises(ValueError):
+            mixture([d({1: 1.0})], [0.0])
+
+
+class TestScaleValues:
+    def test_doubling(self):
+        s = scale_values(d({2: 0.5, 3: 0.5}), 2.0)
+        assert s.to_mapping() == pytest.approx({4: 0.5, 6: 0.5})
+
+    def test_merges_collisions(self):
+        s = scale_values(d({2: 0.5, 3: 0.5}), 0.4)  # both round to 1
+        assert s.to_mapping() == pytest.approx({1: 1.0})
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            scale_values(d({1: 1.0}), 0.0)
+
+
+class TestProjection:
+    def test_project_normalizes(self):
+        p = project_onto_window(np.array([1.0, 3.0]), offset=5)
+        assert p.prob_at(5) == pytest.approx(0.25)
+
+    def test_project_degenerate_fallback(self):
+        p = project_onto_window(np.zeros(4), offset=2)
+        assert p.prob_at(2) == pytest.approx(1.0)
+
+    def test_negative_values_clipped(self):
+        p = project_onto_window(np.array([-1.0, 1.0]), offset=0)
+        assert p.prob_at(1) == pytest.approx(1.0)
+
+
+class TestDelayProfile:
+    def test_profile_and_reconstruction(self):
+        a = d({10: 0.5, 12: 0.5})
+        profile = delay_profile(a, num_bins=4)
+        assert profile == pytest.approx([0.5, 0.0, 0.5, 0.0])
+        back = from_delay_profile(profile, offset=10)
+        assert back.allclose(a)
+
+    def test_tail_accumulates(self):
+        a = d({0: 0.25, 1: 0.25, 5: 0.5})
+        profile = delay_profile(a, num_bins=3)
+        assert profile == pytest.approx([0.25, 0.25, 0.5])
+
+    def test_single_bin(self):
+        assert delay_profile(d({3: 1.0}), num_bins=1) == pytest.approx([1.0])
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            delay_profile(d({1: 1.0}), num_bins=0)
+
+
+class TestShapeProfile:
+    def test_narrow_distribution_width_one(self):
+        profile, width = shape_profile(d({5: 0.5, 6: 0.5}), num_bins=4)
+        assert width == 1
+        assert profile == pytest.approx([0.5, 0.5, 0.0, 0.0])
+
+    def test_wide_distribution_scales_width(self):
+        wide = DiscreteDistribution.uniform(0, 39)
+        profile, width = shape_profile(wide, num_bins=4)
+        assert width == 10
+        assert profile == pytest.approx([0.25, 0.25, 0.25, 0.25])
+
+    def test_profile_sums_to_one(self):
+        wide = DiscreteDistribution.uniform(3, 17)
+        profile, _ = shape_profile(wide, num_bins=6)
+        assert profile.sum() == pytest.approx(1.0)
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            shape_profile(d({1: 1.0}), num_bins=0)

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) for the histogram algebra invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.histograms import (
+    DiscreteDistribution,
+    dominates,
+    js_divergence,
+    kl_divergence,
+    non_dominated,
+    total_variation,
+    wasserstein,
+    weakly_dominates,
+)
+
+
+@st.composite
+def distributions(draw, max_support=12, max_offset=30):
+    offset = draw(st.integers(min_value=0, max_value=max_offset))
+    size = draw(st.integers(min_value=1, max_value=max_support))
+    probs = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    return DiscreteDistribution(offset, np.asarray(probs))
+
+
+@given(distributions())
+def test_probabilities_sum_to_one(d):
+    assert d.probs.sum() == np.float64(1.0) or abs(d.probs.sum() - 1.0) < 1e-9
+
+
+@given(distributions())
+def test_cdf_monotone(d):
+    cdf = d.cdf()
+    assert np.all(np.diff(cdf) >= -1e-12)
+    assert abs(cdf[-1] - 1.0) < 1e-9
+
+
+@given(distributions(), distributions())
+def test_convolution_mean_additive(a, b):
+    assert abs(a.convolve(b).mean() - (a.mean() + b.mean())) < 1e-6
+
+
+@given(distributions(), distributions())
+def test_convolution_variance_additive(a, b):
+    assert abs(a.convolve(b).variance() - (a.variance() + b.variance())) < 1e-6
+
+
+@given(distributions(), distributions())
+def test_convolution_commutative(a, b):
+    assert a.convolve(b).allclose(b.convolve(a), atol=1e-9)
+
+
+@settings(max_examples=40)
+@given(distributions(max_support=6), distributions(max_support=6), distributions(max_support=6))
+def test_convolution_associative(a, b, c):
+    left = a.convolve(b).convolve(c)
+    right = a.convolve(b.convolve(c))
+    assert left.allclose(right, atol=1e-9)
+
+
+@given(distributions(), st.integers(min_value=-10, max_value=10))
+def test_shift_preserves_shape(d, k):
+    shifted = d.shift(k)
+    assert shifted.offset == d.offset + k
+    assert np.allclose(shifted.probs, d.probs)
+
+
+@given(distributions(), st.integers(min_value=1, max_value=6))
+def test_rebin_preserves_mass_and_mean_bound(d, factor):
+    coarse = d.rebin(factor)
+    assert abs(coarse.probs.sum() - 1.0) < 1e-9
+    # Bucketing moves each sample down by at most factor-1 ticks.
+    assert d.mean() - (factor - 1) <= coarse.mean() + 1e-9 <= d.mean() + 1e-9
+
+
+@given(distributions(), st.integers(min_value=1, max_value=8))
+def test_truncate_preserves_mass(d, max_support):
+    t = d.truncate(max_support)
+    assert abs(t.probs.sum() - 1.0) < 1e-9
+    assert t.support_size <= max_support
+
+
+@given(distributions())
+def test_truncate_never_lowers_budget_probability(d):
+    """Folding tail mass down can only increase P(X <= b) for b inside."""
+    t = d.truncate(max(1, d.support_size // 2))
+    for b in range(d.min_value, d.max_value + 1):
+        assert t.cdf_at(b) >= d.cdf_at(b) - 1e-9
+
+
+@given(distributions())
+def test_self_dominance_is_weak_not_strict(d):
+    assert weakly_dominates(d, d)
+    assert not dominates(d, d)
+
+
+@given(distributions(), st.integers(min_value=1, max_value=5))
+def test_shift_down_dominates(d, k):
+    assert dominates(d.shift(-k), d)
+
+
+@given(distributions(), distributions())
+def test_dominance_antisymmetry(a, b):
+    if dominates(a, b):
+        assert not dominates(b, a)
+
+
+@settings(max_examples=40)
+@given(st.lists(distributions(max_support=5, max_offset=8), min_size=1, max_size=6))
+def test_non_dominated_is_antichain(ds):
+    frontier = non_dominated(ds)
+    assert 1 <= len(frontier) <= len(ds)
+    for i, p in enumerate(frontier):
+        for j, q in enumerate(frontier):
+            if i != j:
+                assert not dominates(p, q)
+
+
+@given(distributions(), distributions())
+def test_kl_non_negative_and_zero_on_self(a, b):
+    assert kl_divergence(a, b) >= -1e-9
+    assert abs(kl_divergence(a, a)) < 1e-6
+
+
+@given(distributions(), distributions())
+def test_js_symmetric_and_bounded(a, b):
+    left = js_divergence(a, b)
+    right = js_divergence(b, a)
+    assert abs(left - right) < 1e-9
+    assert -1e-12 <= left <= np.log(2) + 1e-9
+
+
+@given(distributions(), distributions())
+def test_total_variation_bounds(a, b):
+    tv = total_variation(a, b)
+    assert -1e-12 <= tv <= 1.0 + 1e-12
+
+
+@given(distributions(), st.integers(min_value=1, max_value=10))
+def test_wasserstein_of_shift_is_shift(d, k):
+    assert abs(wasserstein(d, d.shift(k)) - k) < 1e-6

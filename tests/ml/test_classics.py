@@ -1,0 +1,258 @@
+"""Unit tests for linear models, trees, forests, preprocessing, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    LogisticRegression,
+    OneHotEncoder,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    RidgeRegression,
+    StandardScaler,
+    accuracy,
+    brier_score,
+    confusion_matrix,
+    f1_score,
+    kfold_indices,
+    log_loss,
+    mean_kl_to_targets,
+    precision,
+    recall,
+    train_test_split,
+    train_test_split_indices,
+)
+
+
+def linear_dataset(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] - 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_separable_data(self):
+        X, y = linear_dataset()
+        clf = LogisticRegression().fit(X, y)
+        assert accuracy(y, clf.predict(X)) > 0.97
+
+    def test_loss_monotone(self):
+        X, y = linear_dataset()
+        clf = LogisticRegression().fit(X, y)
+        assert all(b <= a + 1e-12 for a, b in zip(clf.history_, clf.history_[1:]))
+
+    def test_proba_columns(self):
+        X, y = linear_dataset(50)
+        clf = LogisticRegression().fit(X, y)
+        proba = clf.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 1)), np.asarray([0, 1, 2]))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 1)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1)
+        with pytest.raises(ValueError):
+            LogisticRegression(max_iter=0)
+
+
+class TestRidge:
+    def test_recovers_coefficients(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        y = X @ np.asarray([2.0, -1.0, 0.5]) + 4.0
+        reg = RidgeRegression(alpha=1e-8).fit(X, y)
+        assert np.allclose(reg.coef_, [2.0, -1.0, 0.5], atol=1e-6)
+        assert reg.intercept_ == pytest.approx(4.0, abs=1e-6)
+
+    def test_regularization_shrinks(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 2))
+        y = X[:, 0] * 3
+        small = RidgeRegression(alpha=1e-8).fit(X, y)
+        large = RidgeRegression(alpha=100.0).fit(X, y)
+        assert abs(large.coef_[0]) < abs(small.coef_[0])
+
+
+class TestTrees:
+    def test_classifier_xor(self):
+        """Trees handle the XOR pattern logistic regression cannot."""
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert accuracy(y, tree.predict(X)) > 0.95
+
+    def test_depth_limit(self):
+        X, y = linear_dataset()
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth <= 2
+
+    def test_min_samples_leaf(self):
+        X, y = linear_dataset(100)
+        tree = DecisionTreeClassifier(max_depth=10, min_samples_leaf=30).fit(X, y)
+        assert tree.num_leaves <= 100 // 30 + 1
+
+    def test_pure_node_is_leaf(self):
+        X = np.zeros((10, 1))
+        y = np.zeros(10, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth == 0
+
+    def test_regressor_step_function(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X[:, 0] > 0.5) * 10.0
+        reg = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert np.allclose(reg.predict(X), y, atol=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+
+
+class TestForests:
+    def test_classifier_beats_stump(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(300, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        forest = RandomForestClassifier(num_trees=15, max_depth=5, seed=1).fit(X, y)
+        assert accuracy(y, forest.predict(X)) > 0.9
+
+    def test_proba_normalized(self):
+        X, y = linear_dataset(80)
+        forest = RandomForestClassifier(num_trees=5, seed=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_regressor(self):
+        X = np.linspace(0, 1, 120).reshape(-1, 1)
+        y = np.sin(X[:, 0] * 6)
+        forest = RandomForestRegressor(num_trees=20, max_depth=6, seed=0).fit(X, y)
+        residual = np.abs(forest.predict(X) - y).mean()
+        assert residual < 0.15
+
+    def test_deterministic(self):
+        X, y = linear_dataset(60)
+        a = RandomForestClassifier(num_trees=4, seed=3).fit(X, y).predict_proba(X)
+        b = RandomForestClassifier(num_trees=4, seed=3).fit(X, y).predict_proba(X)
+        assert np.allclose(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(num_trees=0)
+
+
+class TestPreprocessing:
+    def test_scaler_standardizes(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(100, 3))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_scaler_constant_feature(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_scaler_roundtrip(self):
+        X = np.random.default_rng(1).normal(size=(20, 2))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_scaler_feature_count_mismatch(self):
+        scaler = StandardScaler().fit(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((2, 2)))
+
+    def test_scaler_unfitted(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((1, 1)))
+
+    def test_onehot_known_and_unknown(self):
+        enc = OneHotEncoder().fit(np.asarray(["a", "b", "c"]))
+        out = enc.transform(np.asarray(["b", "z"]))
+        assert out[0].tolist() == [0.0, 1.0, 0.0]
+        assert out[1].tolist() == [0.0, 0.0, 0.0]
+
+    def test_onehot_unfitted(self):
+        with pytest.raises(RuntimeError):
+            OneHotEncoder().transform(np.asarray([1]))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert cm.tolist() == [[1, 1], [0, 2]]
+
+    def test_precision_recall_f1(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 0, 1, 0]
+        assert precision(y_true, y_pred) == pytest.approx(0.5)
+        assert recall(y_true, y_pred) == pytest.approx(0.5)
+        assert f1_score(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_precision_no_positives(self):
+        assert precision([1, 1], [0, 0]) == 0.0
+        assert recall([0, 0], [1, 1]) == 0.0
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_log_loss_perfect(self):
+        probs = np.asarray([[0.0, 1.0], [1.0, 0.0]])
+        assert log_loss([1, 0], probs) == pytest.approx(0.0, abs=1e-9)
+
+    def test_brier(self):
+        assert brier_score([1, 0], [1.0, 0.0]) == 0.0
+        assert brier_score([1], [0.5]) == pytest.approx(0.25)
+
+    def test_mean_kl_zero_on_match(self):
+        T = np.asarray([[0.5, 0.5], [0.1, 0.9]])
+        assert mean_kl_to_targets(T, T) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mean_kl_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_kl_to_targets(np.ones((2, 2)), np.ones((3, 2)))
+
+
+class TestModelSelection:
+    def test_split_disjoint_and_complete(self):
+        train, test = train_test_split_indices(50, test_fraction=0.2, seed=1)
+        assert len(train) + len(test) == 50
+        assert set(train.tolist()).isdisjoint(test.tolist())
+
+    def test_split_sequence(self):
+        train, test = train_test_split(list("abcdefghij"), test_fraction=0.3, seed=0)
+        assert len(train) == 7 and len(test) == 3
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split_indices(1)
+        with pytest.raises(ValueError):
+            train_test_split_indices(10, test_fraction=0.0)
+
+    def test_kfold_partitions(self):
+        folds = list(kfold_indices(23, folds=5, seed=0))
+        assert len(folds) == 5
+        all_validation = np.concatenate([v for _, v in folds])
+        assert sorted(all_validation.tolist()) == list(range(23))
+        for train, validation in folds:
+            assert set(train.tolist()).isdisjoint(validation.tolist())
+
+    def test_kfold_validation(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(3, folds=5))

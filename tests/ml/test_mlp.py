@@ -1,0 +1,190 @@
+"""Unit tests for the MLP, including finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    Adam,
+    MlpClassifier,
+    MlpConfig,
+    MlpDistributionRegressor,
+    MlpNetwork,
+    Momentum,
+    Sgd,
+    cross_entropy_from_logits,
+    cross_entropy_gradient,
+    mean_kl_to_targets,
+    softmax,
+)
+
+
+class TestConfigValidation:
+    def test_defaults(self):
+        MlpConfig()
+
+    def test_bad_hidden(self):
+        with pytest.raises(ValueError):
+            MlpConfig(hidden_sizes=(0,))
+
+    def test_bad_activation(self):
+        with pytest.raises(ValueError):
+            MlpConfig(activation="gelu")
+
+    def test_bad_batch(self):
+        with pytest.raises(ValueError):
+            MlpConfig(batch_size=0)
+
+    def test_bad_validation_fraction(self):
+        with pytest.raises(ValueError):
+            MlpConfig(validation_fraction=1.0)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("activation", ["relu", "tanh"])
+    def test_backward_matches_finite_differences(self, activation):
+        rng = np.random.default_rng(0)
+        net = MlpNetwork(5, (7, 6), 4, activation=activation, seed=1)
+        X = rng.normal(size=(8, 5))
+        T = np.abs(rng.normal(size=(8, 4)))
+        T /= T.sum(axis=1, keepdims=True)
+
+        logits, pre, act = net.forward(X)
+        grads = net.backward(cross_entropy_gradient(logits, T), pre, act)
+        params = net.parameters
+
+        eps = 1e-6
+        rng2 = np.random.default_rng(2)
+        for _ in range(12):
+            pi = int(rng2.integers(0, len(params)))
+            flat = params[pi].reshape(-1)
+            ei = int(rng2.integers(0, flat.size))
+            orig = flat[ei]
+            flat[ei] = orig + eps
+            up = cross_entropy_from_logits(net.predict_logits(X), T)
+            flat[ei] = orig - eps
+            down = cross_entropy_from_logits(net.predict_logits(X), T)
+            flat[ei] = orig
+            numeric = (up - down) / (2 * eps)
+            analytic = grads[pi].reshape(-1)[ei]
+            assert numeric == pytest.approx(analytic, abs=1e-5)
+
+    def test_l2_gradient(self):
+        net = MlpNetwork(3, (4,), 2, seed=0)
+        X = np.ones((2, 3))
+        T = np.asarray([[1.0, 0.0], [0.0, 1.0]])
+        logits, pre, act = net.forward(X)
+        g0 = net.backward(cross_entropy_gradient(logits, T), pre, act, l2=0.0)
+        g1 = net.backward(cross_entropy_gradient(logits, T), pre, act, l2=0.1)
+        assert np.allclose(g1[0] - g0[0], 0.1 * net.weights[0])
+
+
+class TestDistributionRegressor:
+    def _dataset(self, n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 4))
+        Y = np.zeros((n, 6))
+        flag = X[:, 0] > 0
+        Y[flag, 0] = 0.5
+        Y[flag, 5] = 0.5
+        Y[~flag, 2] = 1.0
+        return X, Y
+
+    def test_learns_bimodal_mapping(self):
+        X, Y = self._dataset()
+        reg = MlpDistributionRegressor(
+            MlpConfig(hidden_sizes=(24,), max_epochs=200, seed=1)
+        )
+        reg.fit(X, Y)
+        assert mean_kl_to_targets(Y, reg.predict(X)) < 0.15
+
+    def test_prediction_rows_are_distributions(self):
+        X, Y = self._dataset()
+        reg = MlpDistributionRegressor(MlpConfig(max_epochs=5)).fit(X, Y)
+        P = reg.predict(X)
+        assert np.all(P >= 0)
+        assert np.allclose(P.sum(axis=1), 1.0)
+
+    def test_rejects_unnormalized_targets(self):
+        X = np.zeros((3, 2))
+        Y = np.full((3, 4), 0.5)
+        with pytest.raises(ValueError):
+            MlpDistributionRegressor().fit(X, Y)
+
+    def test_rejects_negative_targets(self):
+        X = np.zeros((2, 2))
+        Y = np.asarray([[1.5, -0.5], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            MlpDistributionRegressor().fit(X, Y)
+
+    def test_rejects_row_mismatch(self):
+        with pytest.raises(ValueError):
+            MlpDistributionRegressor().fit(np.zeros((3, 2)), np.ones((2, 2)) / 2)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MlpDistributionRegressor().predict(np.zeros((1, 2)))
+
+    def test_deterministic_given_seed(self):
+        X, Y = self._dataset(n=100)
+        config = MlpConfig(hidden_sizes=(8,), max_epochs=10, seed=7)
+        a = MlpDistributionRegressor(config).fit(X, Y).predict(X)
+        b = MlpDistributionRegressor(config).fit(X, Y).predict(X)
+        assert np.allclose(a, b)
+
+
+class TestClassifier:
+    def test_learns_linear_boundary(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        clf = MlpClassifier(MlpConfig(hidden_sizes=(16,), max_epochs=60, seed=0))
+        clf.fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.95
+
+    def test_proba_shape(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3))
+        y = rng.integers(0, 3, size=50)
+        clf = MlpClassifier(MlpConfig(max_epochs=3)).fit(X, y)
+        proba = clf.predict_proba(X)
+        assert proba.shape == (50, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ValueError):
+            MlpClassifier().fit(np.zeros((2, 2)), np.asarray([-1, 0]))
+
+
+class TestOptimizers:
+    def _quadratic_steps(self, optimizer, steps=200):
+        # minimise f(w) = ||w - 3||^2 via its gradient
+        w = np.zeros(4)
+        params = [w]
+        for _ in range(steps):
+            grads = [2.0 * (w - 3.0)]
+            optimizer.step(params, grads)
+        return w
+
+    def test_sgd_converges(self):
+        w = self._quadratic_steps(Sgd(learning_rate=0.1))
+        assert np.allclose(w, 3.0, atol=1e-3)
+
+    def test_momentum_converges(self):
+        w = self._quadratic_steps(Momentum(learning_rate=0.05, momentum=0.8))
+        assert np.allclose(w, 3.0, atol=1e-3)
+
+    def test_adam_converges(self):
+        w = self._quadratic_steps(Adam(learning_rate=0.2), steps=400)
+        assert np.allclose(w, 3.0, atol=1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sgd(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            Momentum(momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+
+    def test_softmax_stability(self):
+        z = np.asarray([[1000.0, 1000.0]])
+        assert np.allclose(softmax(z), [[0.5, 0.5]])

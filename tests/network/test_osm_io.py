@@ -1,0 +1,124 @@
+"""Unit tests for OSM XML parsing and JSON serialisation."""
+
+import io
+
+import pytest
+
+from repro.network import (
+    RoadCategory,
+    grid_network,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    read_osm,
+    save_network,
+    write_osm,
+)
+
+OSM_SAMPLE = """<?xml version='1.0' encoding='UTF-8'?>
+<osm version="0.6" generator="test">
+  <node id="1" lat="56.000" lon="10.000"/>
+  <node id="2" lat="56.001" lon="10.000"/>
+  <node id="3" lat="56.001" lon="10.001"/>
+  <node id="4" lat="56.002" lon="10.001"/>
+  <way id="100">
+    <nd ref="1"/><nd ref="2"/><nd ref="3"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <way id="101">
+    <nd ref="3"/><nd ref="4"/>
+    <tag k="highway" v="primary"/>
+    <tag k="oneway" v="yes"/>
+  </way>
+  <way id="102">
+    <nd ref="4"/><nd ref="1"/>
+    <tag k="highway" v="motorway_link"/>
+    <tag k="oneway" v="-1"/>
+  </way>
+  <way id="103">
+    <nd ref="1"/><nd ref="4"/>
+    <tag k="waterway" v="river"/>
+  </way>
+  <way id="104">
+    <nd ref="2"/><nd ref="999"/>
+    <tag k="highway" v="service"/>
+  </way>
+</osm>
+"""
+
+
+class TestReadOsm:
+    @pytest.fixture
+    def network(self):
+        return read_osm(io.BytesIO(OSM_SAMPLE.encode()))
+
+    def test_bidirectional_way(self, network):
+        assert network.edge_between(1, 2) is not None
+        assert network.edge_between(2, 1) is not None
+
+    def test_oneway(self, network):
+        assert network.edge_between(3, 4) is not None
+        assert network.edge_between(4, 3) is None
+
+    def test_reverse_oneway(self, network):
+        # oneway=-1 reverses: way 102 is 4->1, so edge 1->4 exists.
+        assert network.edge_between(1, 4) is not None
+        assert network.edge_between(4, 1) is None
+
+    def test_link_inherits_parent_category(self, network):
+        edge = network.edge_between(1, 4)
+        assert edge.category is RoadCategory.MOTORWAY
+
+    def test_non_highway_ways_skipped(self, network):
+        # way 103 is a river; 1->4 exists only because of the motorway link.
+        assert network.edge_between(1, 4).category is RoadCategory.MOTORWAY
+
+    def test_missing_node_refs_skipped(self, network):
+        assert not network.has_vertex(999)
+
+    def test_lengths_are_haversine(self, network):
+        edge = network.edge_between(1, 2)
+        assert edge.length == pytest.approx(111.2, rel=0.02)
+
+    def test_empty_file_raises(self):
+        with pytest.raises(ValueError):
+            read_osm(io.BytesIO(b"<osm/>"))
+
+
+class TestWriteOsm:
+    def test_roundtrip(self, tmp_path):
+        original = grid_network(4, 4, spacing=200.0)
+        path = tmp_path / "net.osm"
+        write_osm(original, path)
+        restored = read_osm(path)
+        assert restored.num_vertices == original.num_vertices
+        assert restored.num_edges == original.num_edges
+        for edge in original.edges:
+            twin = restored.edge_between(edge.source, edge.target)
+            assert twin is not None
+            assert twin.category is edge.category
+            assert twin.length == pytest.approx(edge.length, rel=0.02)
+
+
+class TestJsonIo:
+    def test_dict_roundtrip(self):
+        original = grid_network(3, 4)
+        restored = network_from_dict(network_to_dict(original))
+        assert restored.num_vertices == original.num_vertices
+        assert restored.num_edges == original.num_edges
+        for a, b in zip(original.edges, restored.edges):
+            assert (a.source, a.target, a.category) == (b.source, b.target, b.category)
+            assert a.length == pytest.approx(b.length)
+
+    def test_file_roundtrip(self, tmp_path):
+        original = grid_network(3, 3)
+        path = tmp_path / "net.json"
+        save_network(original, path)
+        restored = load_network(path)
+        assert restored.num_edges == original.num_edges
+
+    def test_unknown_version_rejected(self):
+        payload = network_to_dict(grid_network(2, 2))
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            network_from_dict(payload)
