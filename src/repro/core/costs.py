@@ -33,6 +33,11 @@ class EdgeCostTable:
         self.network = network
         self.resolution = float(resolution)
         self._table: dict[int, DiscreteDistribution] = {}
+        self._free_flow: dict[int, DiscreteDistribution] = {}
+        #: Mutation counter; bumped by :meth:`set_cost`.  Consumers that
+        #: memoise derived state (heuristic tables, combiner edge caches) key
+        #: on it so edits invalidate them without any registration protocol.
+        self.version = 0
 
     @classmethod
     def from_store(
@@ -53,6 +58,7 @@ class EdgeCostTable:
         """Install or overwrite one edge's histogram."""
         self.network.edge(edge_id)  # raises IndexError for unknown edges
         self._table[edge_id] = distribution
+        self.version += 1
 
     def has_observed_cost(self, edge_id: int) -> bool:
         """True when the edge has a corpus-derived histogram."""
@@ -63,9 +69,18 @@ class EdgeCostTable:
         return len(self._table)
 
     def free_flow_cost(self, edge: Edge) -> DiscreteDistribution:
-        """Deterministic fallback: a point mass at the free-flow tick count."""
-        ticks = max(1, int(round(edge.free_flow_time / self.resolution)))
-        return DiscreteDistribution.point(ticks)
+        """Deterministic fallback: a point mass at the free-flow tick count.
+
+        Memoised per edge — distributions are immutable and the fallback
+        depends only on static edge attributes, so routing never rebuilds
+        the same point mass twice.
+        """
+        cached = self._free_flow.get(edge.id)
+        if cached is None:
+            ticks = max(1, int(round(edge.free_flow_time / self.resolution)))
+            cached = DiscreteDistribution.point(ticks)
+            self._free_flow[edge.id] = cached
+        return cached
 
     def cost(self, edge: Edge) -> DiscreteDistribution:
         """The edge's marginal cost histogram (observed or fallback)."""

@@ -45,10 +45,24 @@ class CostCombiner(abc.ABC):
 
     def __init__(self, costs: EdgeCostTable) -> None:
         self.costs = costs
+        self._edge_cache: dict[int, DiscreteDistribution] = {}
+        self._edge_cache_version = costs.version
 
     def edge_cost(self, edge: Edge) -> DiscreteDistribution:
-        """Cost distribution of a single edge."""
-        return self.costs.cost(edge)
+        """Cost distribution of a single edge.
+
+        Memoised per edge id (distributions are immutable); the memo is
+        dropped wholesale whenever the cost table's mutation ``version``
+        moves, so ``set_cost`` edits are always observed.
+        """
+        if self.costs.version != self._edge_cache_version:
+            self._edge_cache.clear()
+            self._edge_cache_version = self.costs.version
+        cached = self._edge_cache.get(edge.id)
+        if cached is None:
+            cached = self.costs.cost(edge)
+            self._edge_cache[edge.id] = cached
+        return cached
 
     @abc.abstractmethod
     def combine(

@@ -43,15 +43,10 @@ class PathCostComputer:
 
     def cost(self, path: Sequence[Edge]) -> DiscreteDistribution:
         """Cost distribution of a whole path."""
-        if len(path) == 0:
-            raise ValueError("path must contain at least one edge")
-        current = self._clip(self.combiner.edge_cost(path[0]))
-        for previous, edge in zip(path, path[1:]):
-            if previous.target != edge.source:
-                raise ValueError(
-                    f"edges {previous.id} -> {edge.id} are not consecutive"
-                )
-            current = self._clip(self.combiner.combine(current, edge))
+        current: DiscreteDistribution | None = None
+        for current in self.prefix_costs(path):
+            pass
+        assert current is not None  # prefix_costs raises on empty paths
         return current
 
     def prefix_costs(self, path: Sequence[Edge]) -> Iterator[DiscreteDistribution]:

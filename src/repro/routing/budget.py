@@ -21,6 +21,16 @@ with the paper's four prunings, each independently switchable for ablation:
 The **anytime extension** is the ``time_limit_seconds`` parameter: when the
 wall clock expires the search stops and returns the pivot path (the paper's
 "acceptable maximum run-time x" input).
+
+Hot-path design (see PERFORMANCE.md)
+------------------------------------
+Labels are slotted parent-chain nodes with **no** per-label visited set: the
+simple-path check walks the parent chain once per *expanded* label (bounded
+by the path length) instead of copying a frozenset for every *generated*
+label — most generated labels are pruned without ever being expanded.  Label
+admission performs exactly one heuristic-table probe and one cached-CDF read,
+and the reverse-Dijkstra heuristic itself is shared across queries through
+:meth:`OptimisticHeuristic.shared`.
 """
 
 from __future__ import annotations
@@ -56,15 +66,27 @@ class PruningConfig:
             raise ValueError("max_frontier_size must be >= 1 when given")
 
 
-@dataclass
 class _Label:
-    """A partial path: head vertex, cost distribution, parent chain."""
+    """A partial path: head vertex, cost distribution, parent chain.
 
-    vertex: int
-    distribution: DiscreteDistribution
-    edge: Edge | None
-    parent: "_Label | None"
-    visited: frozenset[int]
+    The vertices on the label's own path are recovered by walking the parent
+    chain (plus the query source), so extending a label allocates nothing
+    beyond the label object itself.
+    """
+
+    __slots__ = ("vertex", "distribution", "edge", "parent")
+
+    def __init__(
+        self,
+        vertex: int,
+        distribution: DiscreteDistribution,
+        edge: Edge | None,
+        parent: "_Label | None",
+    ) -> None:
+        self.vertex = vertex
+        self.distribution = distribution
+        self.edge = edge
+        self.parent = parent
 
     def path(self) -> tuple[Edge, ...]:
         edges: list[Edge] = []
@@ -118,19 +140,6 @@ class ProbabilisticBudgetRouter:
             return dist.truncate(1)
         return dist.truncate(max_support)
 
-    def _upper_bound(
-        self,
-        heuristic: OptimisticHeuristic,
-        dist: DiscreteDistribution,
-        vertex: int,
-        budget: int,
-    ) -> float:
-        if self.pruning.use_heuristic:
-            return heuristic.upper_bound_probability(
-                dist, vertex, budget, use_shift=self.pruning.use_cost_shifting
-            )
-        return dist.prob_within(budget)
-
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
@@ -140,66 +149,87 @@ class ProbabilisticBudgetRouter:
         query: RoutingQuery,
         *,
         time_limit_seconds: float | None = None,
+        heuristic: OptimisticHeuristic | None = None,
     ) -> RoutingResult:
         """Answer one query; ``time_limit_seconds`` enables anytime mode.
 
         Always returns a result: the optimal path when the search ran to
         completion (``stats.completed``), the pivot path when the anytime
         limit expired, and an empty path when the target is unreachable.
+
+        ``heuristic`` lets callers inject a pre-built (shared) optimistic
+        heuristic for the query target; by default one is taken from the
+        process-wide :meth:`OptimisticHeuristic.shared` cache, so repeated
+        queries to one destination pay for the reverse Dijkstra once.
         """
         start_time = time.perf_counter()
         stats = SearchStats()
-        heuristic = OptimisticHeuristic(self.network, self.combiner.costs, query.target)
+        if heuristic is None:
+            heuristic = OptimisticHeuristic.shared(
+                self.network, self.combiner.costs, query.target
+            )
+        h_table = heuristic.table
 
-        if not heuristic.reachable(query.source):
+        if query.source not in h_table:
             stats.completed = True
             stats.runtime_seconds = time.perf_counter() - start_time
             return RoutingResult(query, (), None, 0.0, stats)
+
+        pruning = self.pruning
+        use_heuristic = pruning.use_heuristic
+        use_pivot = pruning.use_pivot
+        use_cost_shifting = pruning.use_cost_shifting
+        use_dominance = pruning.use_dominance
+        budget = query.budget
+        target = query.target
 
         pivot: _Label | None = None
         pivot_probability = -1.0
         frontiers: dict[int, ParetoFrontier] = {}
         counter = itertools.count()
         heap: list[tuple[float, int, _Label]] = []
+        heappush = heapq.heappush
 
         def consider(label: _Label) -> None:
             """Apply admission prunings and push the label."""
-            nonlocal pivot, pivot_probability
             stats.labels_generated += 1
-            if self.pruning.use_heuristic and not heuristic.reachable(label.vertex):
-                stats.pruned_unreachable += 1
-                return
-            bound = self._upper_bound(heuristic, label.distribution, label.vertex, query.budget)
+            vertex = label.vertex
+            dist = label.distribution
+            if use_heuristic:
+                remaining = h_table.get(vertex)
+                if remaining is None:
+                    stats.pruned_unreachable += 1
+                    return
+                if use_cost_shifting:
+                    bound = dist.prob_within(budget - int(remaining))
+                else:
+                    bound = dist.prob_within(budget)
+            else:
+                bound = dist.prob_within(budget)
             if bound <= 0.0:
                 stats.pruned_by_bound += 1
                 return
-            if self.pruning.use_pivot and bound <= pivot_probability:
+            if use_pivot and bound <= pivot_probability:
                 stats.pruned_by_bound += 1
                 return
-            if self.pruning.use_dominance and label.vertex != query.target:
-                frontier = frontiers.get(label.vertex)
+            if use_dominance and vertex != target:
+                frontier = frontiers.get(vertex)
                 if frontier is None:
-                    frontier = ParetoFrontier(max_size=self.pruning.max_frontier_size)
-                    frontiers[label.vertex] = frontier
-                if not frontier.add(label.distribution):
+                    frontier = ParetoFrontier(max_size=pruning.max_frontier_size)
+                    frontiers[vertex] = frontier
+                if not frontier.add(dist):
                     stats.pruned_by_dominance += 1
                     return
-            heapq.heappush(heap, (-bound, next(counter), label))
+            heappush(heap, (-bound, next(counter), label))
 
         for edge in self.network.out_edges(query.source):
             if edge.target == query.source:
                 continue
-            dist = self._clip(self.combiner.edge_cost(edge), query.budget)
-            consider(
-                _Label(
-                    vertex=edge.target,
-                    distribution=dist,
-                    edge=edge,
-                    parent=None,
-                    visited=frozenset((query.source, edge.target)),
-                )
-            )
+            dist = self._clip(self.combiner.edge_cost(edge), budget)
+            consider(_Label(edge.target, dist, edge, None))
 
+        out_edges = self.network.out_edges
+        combine = self.combiner.combine
         while heap:
             if time_limit_seconds is not None and (
                 time.perf_counter() - start_time
@@ -208,33 +238,31 @@ class ProbabilisticBudgetRouter:
                 break
             neg_bound, _, label = heapq.heappop(heap)
             bound = -neg_bound
-            if self.pruning.use_pivot and bound <= pivot_probability:
+            if use_pivot and bound <= pivot_probability:
                 # Best-first order: nothing left can beat the pivot.
                 stats.pruned_by_bound += 1
                 break
-            if label.vertex == query.target:
-                probability = label.distribution.prob_within(query.budget)
+            if label.vertex == target:
+                probability = label.distribution.prob_within(budget)
                 if probability > pivot_probability:
                     pivot = label
                     pivot_probability = probability
                     stats.pivot_updates += 1
                 continue
             stats.labels_expanded += 1
-            for edge in self.network.out_edges(label.vertex):
-                if edge.target in label.visited:
+            # Simple-path constraint: collect this label's path vertices by
+            # one parent-chain walk (cost bounded by path length), shared by
+            # every outgoing edge below.
+            path_vertices = {query.source}
+            node: _Label | None = label
+            while node is not None:
+                path_vertices.add(node.vertex)
+                node = node.parent
+            for edge in out_edges(label.vertex):
+                if edge.target in path_vertices:
                     continue
-                combined = self._clip(
-                    self.combiner.combine(label.distribution, edge), query.budget
-                )
-                consider(
-                    _Label(
-                        vertex=edge.target,
-                        distribution=combined,
-                        edge=edge,
-                        parent=label,
-                        visited=label.visited | {edge.target},
-                    )
-                )
+                combined = self._clip(combine(label.distribution, edge), budget)
+                consider(_Label(edge.target, combined, edge, label))
 
         stats.runtime_seconds = time.perf_counter() - start_time
         if pivot is None:

@@ -6,16 +6,40 @@ each edge's minimum histogram value.  Because no path realisation can beat
 ``h``, shifting a label's distribution by ``h(v)`` (rule (c), cost shifting)
 yields an upper bound on the label's achievable arrival probability that is
 sound for pruning against the pivot path.
+
+The reverse Dijkstra is the only super-linear setup cost of a PBR query, and
+repeated queries to the same destination — every anytime sweep, every
+experiment workload pass, multi-user traffic to popular targets — would
+otherwise rebuild it from scratch.  :meth:`OptimisticHeuristic.shared`
+therefore memoises heuristics in a process-wide LRU keyed by
+``(network, cost table, cost-table version, target)``; see PERFORMANCE.md
+for the invalidation contract.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 from ..core.costs import EdgeCostTable
 from ..histograms import DiscreteDistribution
 from ..network import RoadNetwork
 from ..network.paths import reverse_dijkstra
 
-__all__ = ["OptimisticHeuristic"]
+__all__ = ["OptimisticHeuristic", "clear_heuristic_cache", "HEURISTIC_CACHE_SIZE"]
+
+#: Maximum number of per-destination tables kept alive by :meth:`shared`.
+HEURISTIC_CACHE_SIZE = 128
+
+#: LRU of shared heuristics.  Values hold strong references to their network
+#: and cost table, which keeps the ``id()``-based keys stable for exactly as
+#: long as the entry lives.  Keys: ``(id(network), id(costs),
+#: network.version, costs.version, target)``.
+_SHARED: "OrderedDict[tuple[int, int, int, int, int], OptimisticHeuristic]" = OrderedDict()
+
+
+def clear_heuristic_cache() -> None:
+    """Drop every shared heuristic (tests and long-lived servers)."""
+    _SHARED.clear()
 
 
 class OptimisticHeuristic:
@@ -23,10 +47,55 @@ class OptimisticHeuristic:
 
     def __init__(self, network: RoadNetwork, costs: EdgeCostTable, target: int) -> None:
         self.network = network
+        self.costs = costs
         self.target = target
         self._table = reverse_dijkstra(
             network, target, weight=lambda edge: float(costs.min_ticks(edge))
         )
+
+    @classmethod
+    def shared(
+        cls, network: RoadNetwork, costs: EdgeCostTable, target: int
+    ) -> "OptimisticHeuristic":
+        """A cached heuristic for ``(network, costs, target)``.
+
+        Cache entries are keyed by object identity plus both mutation
+        ``version`` counters (the network's and the cost table's), so adding
+        vertices/edges or editing histograms (``set_cost``) transparently
+        misses onto a fresh reverse Dijkstra while stale entries age out of
+        the LRU.
+        """
+        ids = (id(network), id(costs))
+        versions = (getattr(network, "version", 0), getattr(costs, "version", 0))
+        key = (*ids, *versions, target)
+        cached = _SHARED.get(key)
+        if cached is not None:
+            _SHARED.move_to_end(key)
+            return cached
+        # Evict every stale-version entry for this same (network, costs)
+        # pair before inserting: those tables can never be hit again, and
+        # keeping them would pin dead reverse-Dijkstra maps (and, through
+        # their strong references, nothing useful) until LRU churn.
+        stale = [
+            k for k in _SHARED if (k[0], k[1]) == ids and (k[2], k[3]) != versions
+        ]
+        for k in stale:
+            del _SHARED[k]
+        heuristic = cls(network, costs, target)
+        _SHARED[key] = heuristic
+        while len(_SHARED) > HEURISTIC_CACHE_SIZE:
+            _SHARED.popitem(last=False)
+        return heuristic
+
+    @property
+    def table(self) -> dict[int, float]:
+        """The raw ``vertex -> optimistic remaining ticks`` map.
+
+        Exposed for the search hot loop, which wants one dictionary probe per
+        label instead of separate ``reachable``/``remaining_ticks`` calls.
+        Treat it as read-only.
+        """
+        return self._table
 
     def reachable(self, vertex_id: int) -> bool:
         """True when the destination is reachable from ``vertex_id``."""
@@ -55,8 +124,9 @@ class OptimisticHeuristic:
         it the bound degrades to ``P(cost so far <= budget)`` (still sound,
         strictly looser — this is what the rule-(c) ablation measures).
         """
-        if not self.reachable(vertex_id):
+        remaining = self._table.get(vertex_id)
+        if remaining is None:
             return 0.0
         if use_shift:
-            return distribution.prob_within(budget - self.remaining_ticks(vertex_id))
+            return distribution.prob_within(budget - int(remaining))
         return distribution.prob_within(budget)
