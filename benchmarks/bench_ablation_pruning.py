@@ -11,7 +11,7 @@ convolution combiner.
 import pytest
 
 from repro.experiments import render_table
-from repro.routing import ProbabilisticBudgetRouter, PruningConfig, RoutingQuery
+from repro.routing import PruningConfig, RoutingEngine
 
 from conftest import emit
 
@@ -37,10 +37,8 @@ def test_pruning_ablation_table(benchmark, runner):
         rows = []
         reference = None
         for name, pruning in VARIANTS:
-            router = ProbabilisticBudgetRouter(
-                runner.network, convolution, pruning=pruning
-            )
-            result = router.route(query)
+            engine = RoutingEngine(runner.network, convolution, pruning=pruning)
+            result = engine.route(query)
             if reference is None:
                 reference = result.probability
             assert result.probability == pytest.approx(reference, abs=1e-9), name

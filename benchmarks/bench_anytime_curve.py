@@ -9,7 +9,6 @@ time limit and reaches the unbounded optimum.
 import pytest
 
 from repro.experiments import render_table
-from repro.routing import AnytimeRouter
 
 from conftest import emit
 
@@ -17,12 +16,12 @@ from conftest import emit
 def test_anytime_quality_curve(benchmark, runner):
     bands = list(runner.workload)
     banded = runner.workload[bands[-1]][0]
-    router = AnytimeRouter(runner.network, runner.trained.hybrid_model())
+    engine = runner.engine("hybrid")
     limits = [0.001, 0.005, 0.02, 0.1, 0.5]
 
     def sweep():
-        points = router.quality_curve(banded.query, limits)
-        reference = router.route_unbounded(banded.query)
+        points = list(engine.route_stream(banded.query, limits))
+        reference = engine.route(banded.query)
         return points, reference
 
     points, reference = benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -31,9 +30,9 @@ def test_anytime_quality_curve(benchmark, runner):
         render_table(
             ["Limit (s)", "P(on time)", "Completed", "Edges"],
             [
-                [f"{p.time_limit_seconds:g}", f"{p.probability:.4f}",
-                 str(p.completed), str(p.num_edges)]
-                for p in points
+                [f"{limit:g}", f"{p.probability:.4f}",
+                 str(p.stats.completed), str(p.num_edges)]
+                for limit, p in zip(limits, points)
             ]
             + [["unbounded", f"{reference.probability:.4f}", "True",
                 str(reference.num_edges)]],

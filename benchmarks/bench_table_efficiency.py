@@ -14,7 +14,6 @@ benchmark report itself.
 import pytest
 
 from repro.experiments import run_efficiency_experiment
-from repro.routing import ProbabilisticBudgetRouter
 
 from conftest import emit
 
@@ -23,8 +22,9 @@ _table_cache = {}
 
 def _efficiency_table(runner):
     if "table" not in _table_cache:
+        engine = runner.engine("hybrid")
         _table_cache["table"] = run_efficiency_experiment(
-            runner.network, runner.trained.hybrid_model(), runner.workload
+            runner.network, engine.combiner, runner.workload, engine=engine
         )
     return _table_cache["table"]
 
@@ -50,6 +50,6 @@ def test_routing_latency_per_band(benchmark, runner, band_index):
     bands = list(runner.workload)
     band = bands[min(band_index, len(bands) - 1)]
     banded = runner.workload[band][0]
-    router = ProbabilisticBudgetRouter(runner.network, runner.trained.hybrid_model())
-    result = benchmark(lambda: router.route(banded.query))
+    engine = runner.engine("hybrid")
+    result = benchmark(lambda: engine.route(banded.query))
     assert result.found

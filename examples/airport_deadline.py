@@ -11,7 +11,7 @@ Reproduces both introduction artefacts:
 from repro.core import ConvolutionModel, EdgeCostTable
 from repro.histograms import DiscreteDistribution
 from repro.network import diamond_network
-from repro.routing import ProbabilisticBudgetRouter, RoutingQuery, expected_time_path
+from repro.routing import RoutingEngine
 
 
 def intro_table() -> None:
@@ -37,11 +37,12 @@ def routed_version() -> None:
     # Risky route via vertex 2: lower mean, fat tail.
     costs.set_cost(2, DiscreteDistribution.from_mapping({18: 0.8, 35: 0.2}))
     costs.set_cost(3, DiscreteDistribution.from_mapping({18: 0.8, 35: 0.2}))
-    combiner = ConvolutionModel(costs)
+    engine = RoutingEngine(network, ConvolutionModel(costs))
 
-    query = RoutingQuery(source=0, target=3, budget=60)
-    pbr = ProbabilisticBudgetRouter(network, combiner).route(query)
-    avg = expected_time_path(network, combiner, query)
+    # A 60-minute deadline: one engine, two strategies.
+    query = engine.query_from_seconds(source=0, target=3, budget_seconds=3600.0)
+    pbr = engine.route(query)
+    avg = engine.route(query, strategy="expected_time")
 
     print("Routing to the airport with a 60-minute budget:")
     print(

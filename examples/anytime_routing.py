@@ -1,12 +1,11 @@
 """The anytime extension: bounded-latency routing with a pivot-path fallback.
 
-Sweeps the wall-clock limit on one long query and prints the quality-vs-time
-curve (experiment E8): more time never yields a worse answer, and the curve
-converges to the unbounded optimum.
+Streams improving answers for one long query through
+:meth:`RoutingEngine.route_stream` (experiment E8): more time never yields a
+worse answer, and the stream converges to the unbounded optimum.
 """
 
 from repro.experiments import get_runner, render_table
-from repro.routing import AnytimeRouter
 
 
 def main() -> None:
@@ -19,16 +18,19 @@ def main() -> None:
         f"budget {query.budget} ticks, band {band.label} km"
     )
 
-    router = AnytimeRouter(runner.network, runner.trained.hybrid_model())
-    points = router.quality_curve(query, [0.001, 0.005, 0.02, 0.1, 0.5])
-    unbounded = router.route_unbounded(query)
-
+    engine = runner.engine("hybrid")
+    limits = [0.001, 0.005, 0.02, 0.1, 0.5]
     rows = [
-        [f"{p.time_limit_seconds:g}", f"{p.probability:.4f}", str(p.completed)]
-        for p in points
+        [
+            f"{limit:g}",
+            f"{result.probability:.4f}",
+            "completed" if result.stats.completed else "timed out",
+        ]
+        for limit, result in zip(limits, engine.route_stream(query, limits))
     ]
-    rows.append(["unbounded", f"{unbounded.probability:.4f}", "True"])
-    print(render_table(["Limit (s)", "P(on time)", "Completed"], rows))
+    unbounded = engine.route(query)
+    rows.append(["unbounded", f"{unbounded.probability:.4f}", "completed"])
+    print(render_table(["Limit (s)", "P(on time)", "Search"], rows))
 
     truth = runner.traffic_model
     print(

@@ -11,7 +11,7 @@ from repro.network import denmark_like_network
 from repro.core import TrainingConfig, train_hybrid
 from repro.core.estimator import EstimatorConfig
 from repro.ml import MlpConfig
-from repro.routing import ProbabilisticBudgetRouter, RoutingQuery
+from repro.routing import RoutingEngine
 from repro.trajectories import (
     STRUCTURED_CONFIG,
     CongestionModel,
@@ -50,24 +50,20 @@ def main() -> None:
         f"hybrid={trained.report.kl_hybrid:.4f}"
     )
 
-    # Intercity query: town-0 centre to town-1 centre.
+    # Intercity query: town-0 centre to town-1 centre, budget 1.5x the
+    # optimistic minimum travel time (read off the engine's shared
+    # heuristic — the same reverse Dijkstra the search itself uses).
     source, target = 24, 49 + 24  # centres of the two 7x7 towns
-    heuristic_budget = None
-    for factor in (1.5,):
-        from repro.network.paths import reverse_dijkstra
-
-        table = reverse_dijkstra(
-            network, target, weight=lambda e: float(trained.costs.min_ticks(e))
-        )
-        heuristic_budget = int(factor * table[source])
-    query = RoutingQuery(source, target, budget=heuristic_budget)
+    engines = {
+        "hybrid": RoutingEngine(network, trained.hybrid_model()),
+        "convolution": RoutingEngine(network, trained.convolution_model()),
+    }
+    optimistic = engines["hybrid"].heuristic_for(target).remaining_ticks(source)
+    query = engines["hybrid"].query(source, target, budget=int(1.5 * optimistic))
     print(f"\nintercity query {source} -> {target}, budget {query.budget} ticks")
 
-    for name, combiner in (
-        ("hybrid", trained.hybrid_model()),
-        ("convolution", trained.convolution_model()),
-    ):
-        result = ProbabilisticBudgetRouter(network, combiner).route(query)
+    for name, engine in engines.items():
+        result = engine.route(query)
         truth_probability = traffic.path_probability_within(
             list(result.path), query.budget
         )

@@ -1,4 +1,8 @@
-"""Quickstart: build a network, learn a hybrid model, answer a PBR query.
+"""Quickstart: build a network, learn a hybrid model, serve routing queries.
+
+All routing goes through one object — :class:`repro.routing.RoutingEngine`,
+the facade a service would expose: single queries under any strategy,
+seconds-based budgets, batch routing, and streaming anytime answers.
 
 Runs in well under a minute::
 
@@ -9,7 +13,7 @@ from repro.core import TrainingConfig, train_hybrid
 from repro.core.estimator import EstimatorConfig
 from repro.ml import MlpConfig
 from repro.network import grid_network
-from repro.routing import ProbabilisticBudgetRouter, RoutingQuery
+from repro.routing import RoutingEngine
 from repro.trajectories import CongestionModel, TrajectoryStore, TripGenerator
 
 
@@ -49,10 +53,14 @@ def main() -> None:
         f"(improvement {report.improvement_over_convolution():.0%})"
     )
 
-    # 5. Probabilistic budget routing: maximise P(arrive within budget).
-    router = ProbabilisticBudgetRouter(network, trained.hybrid_model())
-    query = RoutingQuery(source=0, target=63, budget=55)  # 55 ticks = 275 s
-    result = router.route(query)
+    # 5. One engine serves all routing traffic for this (network, model)
+    #    pair; it owns the shared heuristic/CDF caches.
+    engine = RoutingEngine(network, trained.hybrid_model())
+
+    # Budgets can be given in wall-clock seconds; the engine converts onto
+    # the distribution grid (here 275 s = 55 ticks at 5 s/tick).
+    query = engine.query_from_seconds(source=0, target=63, budget_seconds=275.0)
+    result = engine.route(query)  # strategy="pbr" is the default
     print(
         f"query {query.source}->{query.target} within {query.budget} ticks: "
         f"path of {result.num_edges} edges, "
@@ -63,6 +71,25 @@ def main() -> None:
     print(f"search: {result.stats.labels_generated} labels generated, "
           f"{result.stats.pruned_total} pruned, "
           f"{result.stats.runtime_seconds * 1000:.1f} ms")
+
+    # 6. Strategies are one keyword away: the expected-time baseline ignores
+    #    spread, so its path is usually riskier under the same deadline.
+    baseline = engine.route(query, strategy="expected_time")
+    print(
+        f"expected-time baseline: P(on time) = {baseline.probability:.3f} "
+        f"(PBR gains {result.probability - baseline.probability:+.3f})"
+    )
+
+    # 7. Batch mode amortises the per-target setup across a workload and
+    #    aggregates the search stats; results are wire-ready dicts.
+    queries = [query, engine.query(0, 62, 60), engine.query(8, 63, 60)]
+    batch = engine.route_many(queries)
+    print(
+        f"batch: {batch.num_found}/{len(batch)} routed, "
+        f"{batch.stats.labels_generated} labels total, "
+        f"{batch.stats.runtime_seconds * 1000:.1f} ms"
+    )
+    print(f"wire format keys: {sorted(batch.results[0].to_dict())}")
 
 
 if __name__ == "__main__":

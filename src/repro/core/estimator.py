@@ -28,7 +28,7 @@ import numpy as np
 
 from ..histograms import DiscreteDistribution, delay_profile, from_delay_profile
 from ..ml import MlpConfig, MlpDistributionRegressor, StandardScaler
-from ..network import Edge
+
 
 __all__ = ["EstimatorConfig", "DistributionEstimator"]
 

@@ -14,7 +14,7 @@ classifier arbitrate per intersection crossing.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..histograms import DiscreteDistribution
 from ..network import Edge

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 
 from ..core.models import CostCombiner
 from ..network import RoadNetwork
-from ..routing import ProbabilisticBudgetRouter, PruningConfig
+from ..routing import PruningConfig, RoutingEngine
+from ._engines import require_matching_engine
 from .config import DistanceBand
 from .tables import format_seconds, render_table
 from .workloads import BandedQuery
@@ -59,9 +60,20 @@ def run_efficiency_experiment(
     workload: dict[DistanceBand, list[BandedQuery]],
     *,
     pruning: PruningConfig | None = None,
+    engine: RoutingEngine | None = None,
 ) -> EfficiencyTable:
-    """Time the unbounded PBR search on every workload query."""
-    router = ProbabilisticBudgetRouter(network, combiner, pruning=pruning)
+    """Time the unbounded PBR search on every workload query.
+
+    ``engine`` lets the orchestration runner supply its shared
+    :class:`RoutingEngine` (warm caches); by default a fresh one is built
+    over ``(network, combiner, pruning)``.  A supplied engine must agree
+    with the explicit arguments — a mismatch would time one configuration
+    while the table claims another.
+    """
+    if engine is None:
+        engine = RoutingEngine(network, combiner, pruning=pruning)
+    else:
+        require_matching_engine(engine, network, combiner, pruning=pruning)
     rows = []
     for band, queries in workload.items():
         seconds: list[float] = []
@@ -69,7 +81,7 @@ def run_efficiency_experiment(
         expanded: list[int] = []
         for banded in queries:
             begin = time.perf_counter()
-            result = router.route(banded.query)
+            result = engine.route(banded.query)
             seconds.append(time.perf_counter() - begin)
             generated.append(result.stats.labels_generated)
             expanded.append(result.stats.labels_expanded)

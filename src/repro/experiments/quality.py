@@ -23,8 +23,9 @@ from dataclasses import dataclass
 
 from ..core.models import CostCombiner
 from ..network import RoadNetwork
-from ..routing import AnytimeRouter, ProbabilisticBudgetRouter, RoutingResult
+from ..routing import RoutingEngine, RoutingResult
 from ..trajectories import CongestionModel
+from ._engines import require_matching_engine
 from .config import DistanceBand
 from .tables import format_percent, render_table
 from .workloads import BandedQuery
@@ -94,14 +95,27 @@ def run_quality_experiment(
     workload: dict[DistanceBand, list[BandedQuery]],
     *,
     anytime_limits: tuple[float, ...] = (),
+    hybrid_engine: RoutingEngine | None = None,
+    convolution_engine: RoutingEngine | None = None,
 ) -> QualityTable:
     """Regenerate the Quality table on a prepared workload.
 
     The convolution baseline always runs unbounded (it is the reference
     policy); the hybrid runs unbounded for P∞ and once per anytime limit.
+    The optional ``*_engine`` arguments let the orchestration runner pass
+    its shared :class:`RoutingEngine` instances (warm caches); a supplied
+    engine must wrap exactly the explicit network/combiner arguments.
     """
-    hybrid_router = AnytimeRouter(network, hybrid)
-    conv_router = ProbabilisticBudgetRouter(network, convolution)
+    if hybrid_engine is None:
+        hybrid_engine = RoutingEngine(network, hybrid)
+    else:
+        require_matching_engine(hybrid_engine, network, hybrid, name="hybrid_engine")
+    if convolution_engine is None:
+        convolution_engine = RoutingEngine(network, convolution)
+    else:
+        require_matching_engine(
+            convolution_engine, network, convolution, name="convolution_engine"
+        )
 
     rows = []
     for band, queries in workload.items():
@@ -115,10 +129,10 @@ def run_quality_experiment(
 
         for banded in queries:
             query = banded.query
-            conv_result = conv_router.route(query)
+            conv_result = convolution_engine.route(query)
             conv_prob = _truth_probability(truth, conv_result, query.budget)
 
-            unbounded = hybrid_router.route_unbounded(query)
+            unbounded = hybrid_engine.route(query)
             h_prob = _truth_probability(truth, unbounded, query.budget)
             per_limit_gains["inf"].append(_gain(h_prob, conv_prob))
             if h_prob > conv_prob + 1e-12:
@@ -127,7 +141,9 @@ def run_quality_experiment(
                 ties["inf"] += 1
 
             for limit in anytime_limits:
-                bounded = hybrid_router.route(query, limit)
+                bounded = hybrid_engine.route(
+                    query, strategy="anytime", time_limit_seconds=limit
+                )
                 b_prob = _truth_probability(truth, bounded, query.budget)
                 key = f"{limit:g}"
                 per_limit_gains[key].append(_gain(b_prob, conv_prob))

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..core import TrainedHybrid, train_hybrid
 from ..network import RoadNetwork, denmark_like_network
+from ..routing import RoutingEngine
 from ..trajectories import (
     CongestionModel,
     TrajectoryStore,
@@ -39,6 +40,7 @@ class ReproductionRunner:
         self._store: TrajectoryStore | None = None
         self._trained: TrainedHybrid | None = None
         self._workload: dict[DistanceBand, list[BandedQuery]] | None = None
+        self._engines: dict[str, RoutingEngine] = {}
 
     # ------------------------------------------------------------------
     # Lazy construction
@@ -104,6 +106,25 @@ class ReproductionRunner:
             )
         return self._workload
 
+    def engine(self, model: str = "hybrid") -> RoutingEngine:
+        """The preset's shared :class:`RoutingEngine` for ``model``.
+
+        ``model`` is ``"hybrid"`` or ``"convolution"``.  Engines are cached
+        per model so every experiment, bench and example run through the
+        same facade and share its heuristic/CDF caches.
+        """
+        engine = self._engines.get(model)
+        if engine is None:
+            if model == "hybrid":
+                combiner = self.trained.hybrid_model()
+            elif model == "convolution":
+                combiner = self.trained.convolution_model()
+            else:
+                raise KeyError(f"unknown engine model {model!r}")
+            engine = RoutingEngine(self.network, combiner)
+            self._engines[model] = engine
+        return engine
+
     # ------------------------------------------------------------------
     # Experiments (one per paper artefact)
     # ------------------------------------------------------------------
@@ -122,19 +143,24 @@ class ReproductionRunner:
 
     def run_quality(self) -> QualityTable:
         """E5: the Quality table (P∞ and anytime columns)."""
+        hybrid_engine = self.engine("hybrid")
+        convolution_engine = self.engine("convolution")
         return run_quality_experiment(
             self.network,
-            self.trained.hybrid_model(),
-            self.trained.convolution_model(),
+            hybrid_engine.combiner,
+            convolution_engine.combiner,
             self.traffic_model,
             self.workload,
             anytime_limits=self.preset.anytime_limits,
+            hybrid_engine=hybrid_engine,
+            convolution_engine=convolution_engine,
         )
 
     def run_efficiency(self) -> EfficiencyTable:
         """E6: mean PBR runtime per distance band."""
+        engine = self.engine("hybrid")
         return run_efficiency_experiment(
-            self.network, self.trained.hybrid_model(), self.workload
+            self.network, engine.combiner, self.workload, engine=engine
         )
 
 

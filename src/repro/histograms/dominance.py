@@ -27,7 +27,7 @@ turning membership and eviction into single broadcast comparisons.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 

@@ -1,27 +1,44 @@
 """Probabilistic budget routing.
 
-Best-first PBR search with the paper's four prunings (optimistic heuristic,
-pivot path, cost shifting, stochastic dominance), the anytime extension, and
-baselines (expected-time Dijkstra, exhaustive oracle).
+The public entry point is :class:`RoutingEngine` — one facade over the
+paper's best-first PBR search (with the four prunings), the anytime
+extension, the baselines (expected-time Dijkstra, exhaustive oracle), batch
+routing and streaming anytime sweeps.  Strategies plug in through
+:func:`register_strategy`.  The legacy per-algorithm constructors
+(:class:`ProbabilisticBudgetRouter`, :class:`AnytimeRouter`) survive as
+deprecated shims.
 """
 
 from .anytime import AnytimePoint, AnytimeRouter
 from .baselines import all_simple_paths, exhaustive_best_path, expected_time_path
 from .budget import ProbabilisticBudgetRouter, PruningConfig
+from .engine import (
+    BatchResult,
+    RoutingEngine,
+    RoutingStrategy,
+    available_strategies,
+    register_strategy,
+)
 from .heuristics import OptimisticHeuristic, clear_heuristic_cache
-from .query import RoutingQuery, RoutingResult, SearchStats
+from .query import MAX_BUDGET_TICKS, RoutingQuery, RoutingResult, SearchStats
 
 __all__ = [
     "AnytimePoint",
     "AnytimeRouter",
+    "BatchResult",
+    "MAX_BUDGET_TICKS",
     "OptimisticHeuristic",
     "clear_heuristic_cache",
     "ProbabilisticBudgetRouter",
     "PruningConfig",
+    "RoutingEngine",
     "RoutingQuery",
     "RoutingResult",
+    "RoutingStrategy",
     "SearchStats",
     "all_simple_paths",
+    "available_strategies",
     "exhaustive_best_path",
     "expected_time_path",
+    "register_strategy",
 ]

@@ -9,11 +9,12 @@ anytime columns P1/P5/P10 of the quality table (E5).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..core.models import CostCombiner
 from ..network import RoadNetwork
-from .budget import ProbabilisticBudgetRouter, PruningConfig
+from .budget import PruningConfig, _BudgetSearch
 from .heuristics import OptimisticHeuristic
 from .query import RoutingQuery, RoutingResult
 
@@ -31,7 +32,13 @@ class AnytimePoint:
 
 
 class AnytimeRouter:
-    """PBR with a wall-clock budget; returns the pivot on expiry."""
+    """PBR with a wall-clock budget; returns the pivot on expiry.
+
+    Deprecated direct-construction entry point: new code should use
+    :class:`repro.routing.RoutingEngine` with ``strategy="anytime"`` (one
+    bounded answer) or :meth:`RoutingEngine.route_stream` (improving pivots
+    across a sweep of limits).
+    """
 
     def __init__(
         self,
@@ -40,7 +47,13 @@ class AnytimeRouter:
         *,
         pruning: PruningConfig | None = None,
     ) -> None:
-        self._router = ProbabilisticBudgetRouter(network, combiner, pruning=pruning)
+        warnings.warn(
+            "AnytimeRouter is deprecated; use repro.routing.RoutingEngine "
+            "with strategy='anytime' or RoutingEngine.route_stream instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._router = _BudgetSearch(network, combiner, pruning=pruning)
 
     @staticmethod
     def _check_limit(time_limit_seconds: float) -> float:

@@ -38,6 +38,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
+import warnings
 from dataclasses import dataclass
 
 from ..core.models import CostCombiner
@@ -98,12 +99,18 @@ class _Label:
         return tuple(edges)
 
 
-class ProbabilisticBudgetRouter:
-    """Best-first PBR search over any cost combiner.
+class _BudgetSearch:
+    """Best-first PBR search over any cost combiner (engine internal).
 
     The search explores simple paths (no vertex revisits within a label's
     own path) — with non-negative travel times a revisit can never increase
     the arrival probability.
+
+    This class is the implementation behind the public
+    :class:`~repro.routing.engine.RoutingEngine` facade; external callers
+    should go through the engine (the legacy
+    :class:`ProbabilisticBudgetRouter` constructor below survives as a
+    deprecated shim).
     """
 
     def __init__(
@@ -293,3 +300,28 @@ class ProbabilisticBudgetRouter:
             pivot_probability,
             stats,
         )
+
+
+class ProbabilisticBudgetRouter(_BudgetSearch):
+    """Deprecated direct-construction entry point for the PBR search.
+
+    Kept as a thin working shim for existing callers; new code should route
+    through :class:`repro.routing.RoutingEngine`, which owns the network,
+    combiner and shared heuristic state and exposes batch/streaming modes.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        combiner: CostCombiner,
+        *,
+        pruning: PruningConfig | None = None,
+    ) -> None:
+        warnings.warn(
+            "ProbabilisticBudgetRouter is deprecated; use "
+            "repro.routing.RoutingEngine(network, combiner).route(query) "
+            "(strategy='pbr') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(network, combiner, pruning=pruning)

@@ -1,0 +1,441 @@
+"""The :class:`RoutingEngine` facade — one entry point for all routing.
+
+The paper frames stochastic routing as a single query interface
+parameterised by budget, time limit and cost model.  Before this module,
+every caller hand-wired :class:`ProbabilisticBudgetRouter` /
+:class:`AnytimeRouter` / the baseline functions together with a cost
+combiner, budget-in-ticks conversion and heuristic-cache management.  The
+engine centralises that wiring the way production trip-dispatch stacks do:
+
+* it **owns** the network, the combiner and the shared
+  :class:`~repro.routing.heuristics.OptimisticHeuristic` state, so repeated
+  and batched queries amortise the reverse-Dijkstra and cached-CDF costs;
+* :meth:`RoutingEngine.route` answers one query under any registered
+  **strategy** (``"pbr"``, ``"anytime"``, ``"expected_time"``,
+  ``"oracle"`` out of the box);
+* :meth:`RoutingEngine.route_many` serves batch workloads, grouping
+  queries by target so the heuristic LRU stays hot, and returns a
+  :class:`BatchResult` with aggregated :class:`SearchStats`;
+* :meth:`RoutingEngine.route_stream` yields improving anytime pivots over
+  an ascending sweep of wall-clock limits, sharing one heuristic across
+  the whole sweep.
+
+New workloads (multi-budget routing, k-best paths, ...) plug in through the
+:func:`register_strategy` decorator without touching the engine:
+
+    >>> @register_strategy("my_strategy")
+    ... class MyStrategy(RoutingStrategy):
+    ...     def route(self, engine, query, *, time_limit_seconds=None):
+    ...         ...
+
+See PERFORMANCE.md ("Engine API") for the cache-reuse contract.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from ..core.models import CostCombiner
+from ..network import RoadNetwork
+from .baselines import exhaustive_best_path, expected_time_path
+from .budget import PruningConfig, _BudgetSearch
+from .heuristics import OptimisticHeuristic
+from .query import RoutingQuery, RoutingResult, SearchStats
+
+__all__ = [
+    "BatchResult",
+    "RoutingEngine",
+    "RoutingStrategy",
+    "available_strategies",
+    "register_strategy",
+]
+
+
+# ----------------------------------------------------------------------
+# Strategy registry
+# ----------------------------------------------------------------------
+
+
+class RoutingStrategy(abc.ABC):
+    """One way of answering a :class:`RoutingQuery` through the engine.
+
+    Strategies are stateless policy objects: the engine hands them itself
+    (network, combiner, shared search and heuristic state) plus the query.
+    Register implementations with :func:`register_strategy`.
+    """
+
+    #: Registry name; assigned by :func:`register_strategy`.
+    name: str = "<unregistered>"
+
+    #: Whether the strategy honours ``time_limit_seconds``.  Strategies that
+    #: cannot bound their latency reject a limit instead of silently
+    #: ignoring it — a service must not promise latency it cannot keep.
+    supports_time_limit: bool = False
+
+    @abc.abstractmethod
+    def route(
+        self,
+        engine: "RoutingEngine",
+        query: RoutingQuery,
+        *,
+        time_limit_seconds: float | None = None,
+        **kwargs: Any,
+    ) -> RoutingResult:
+        """Answer ``query`` using ``engine``'s shared state."""
+
+    def check_time_limit(self, time_limit_seconds: float | None) -> float | None:
+        """Validate the limit against this strategy's capabilities."""
+        if time_limit_seconds is None:
+            return None
+        if not self.supports_time_limit:
+            raise ValueError(
+                f"strategy {self.name!r} does not support time_limit_seconds"
+            )
+        # NaN/inf would pass a bare `<= 0` check and then never trip the
+        # search's wall-clock comparison — an unbounded run disguised as a
+        # bounded one.
+        if not math.isfinite(time_limit_seconds) or time_limit_seconds <= 0:
+            raise ValueError("time_limit_seconds must be a positive finite number")
+        return float(time_limit_seconds)
+
+
+_STRATEGIES: dict[str, type[RoutingStrategy]] = {}
+
+
+def register_strategy(name: str):
+    """Class decorator registering a :class:`RoutingStrategy` under ``name``.
+
+    The registry is process-wide: any module can add a strategy and every
+    :class:`RoutingEngine` can serve it immediately.  Names are unique —
+    re-registering an existing name raises rather than silently shadowing
+    a strategy another caller may depend on.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError("strategy name must be a non-empty string")
+
+    def decorator(cls: type[RoutingStrategy]) -> type[RoutingStrategy]:
+        if not (isinstance(cls, type) and issubclass(cls, RoutingStrategy)):
+            raise TypeError("@register_strategy expects a RoutingStrategy subclass")
+        if name in _STRATEGIES:
+            raise ValueError(f"routing strategy {name!r} is already registered")
+        cls.name = name
+        _STRATEGIES[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Sorted names of every registered routing strategy."""
+    return tuple(sorted(_STRATEGIES))
+
+
+# ----------------------------------------------------------------------
+# Built-in strategies
+# ----------------------------------------------------------------------
+
+
+@register_strategy("pbr")
+class PBRStrategy(RoutingStrategy):
+    """The paper's algorithm: best-first PBR search with all prunings.
+
+    Optionally anytime — with ``time_limit_seconds`` the search returns the
+    pivot path when the wall clock expires.
+    """
+
+    supports_time_limit = True
+
+    def route(
+        self,
+        engine: "RoutingEngine",
+        query: RoutingQuery,
+        *,
+        time_limit_seconds: float | None = None,
+        heuristic: OptimisticHeuristic | None = None,
+    ) -> RoutingResult:
+        return engine._search.route(
+            query,
+            time_limit_seconds=self.check_time_limit(time_limit_seconds),
+            heuristic=heuristic,
+        )
+
+
+@register_strategy("anytime")
+class AnytimeStrategy(PBRStrategy):
+    """PBR under a mandatory wall-clock budget (pivot path on expiry).
+
+    Identical search to ``"pbr"``; the separate strategy makes the
+    bounded-latency contract explicit — a missing limit is a caller bug,
+    not an accidental unbounded search.
+    """
+
+    def route(
+        self,
+        engine: "RoutingEngine",
+        query: RoutingQuery,
+        *,
+        time_limit_seconds: float | None = None,
+        heuristic: OptimisticHeuristic | None = None,
+    ) -> RoutingResult:
+        if time_limit_seconds is None:
+            raise ValueError("the 'anytime' strategy requires time_limit_seconds")
+        return super().route(
+            engine,
+            query,
+            time_limit_seconds=time_limit_seconds,
+            heuristic=heuristic,
+        )
+
+
+@register_strategy("expected_time")
+class ExpectedTimeStrategy(RoutingStrategy):
+    """Baseline: deterministic shortest path over average travel times."""
+
+    def route(
+        self,
+        engine: "RoutingEngine",
+        query: RoutingQuery,
+        *,
+        time_limit_seconds: float | None = None,
+    ) -> RoutingResult:
+        self.check_time_limit(time_limit_seconds)
+        return expected_time_path(engine.network, engine.combiner, query)
+
+
+@register_strategy("oracle")
+class OracleStrategy(RoutingStrategy):
+    """Baseline: exhaustive enumeration of simple paths (small graphs only)."""
+
+    def route(
+        self,
+        engine: "RoutingEngine",
+        query: RoutingQuery,
+        *,
+        time_limit_seconds: float | None = None,
+        max_edges: int = 12,
+    ) -> RoutingResult:
+        self.check_time_limit(time_limit_seconds)
+        return exhaustive_best_path(
+            engine.network, engine.combiner, query, max_edges=max_edges
+        )
+
+
+# ----------------------------------------------------------------------
+# Batch results
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Answers to one :meth:`RoutingEngine.route_many` call.
+
+    ``results`` preserves the input query order; ``stats`` aggregates every
+    member search (see :meth:`SearchStats.aggregate`).
+    """
+
+    results: tuple[RoutingResult, ...]
+    stats: SearchStats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[RoutingResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> RoutingResult:
+        return self.results[index]
+
+    @property
+    def num_found(self) -> int:
+        return sum(1 for result in self.results if result.found)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation of the whole batch."""
+        return {
+            "results": [result.to_dict() for result in self.results],
+            "stats": self.stats.to_dict(),
+            "num_found": self.num_found,
+        }
+
+
+# ----------------------------------------------------------------------
+# The facade
+# ----------------------------------------------------------------------
+
+
+class RoutingEngine:
+    """Unified entry point for PBR, anytime, baseline and batch routing.
+
+    One engine per (network, combiner) pair; it is what a routing service
+    instantiates once and serves all traffic through.  All strategies share
+    the engine's search state, the combiner's per-edge cost memo, and the
+    process-wide optimistic-heuristic LRU, so heavy traffic to popular
+    destinations pays the per-target setup cost once.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        combiner: CostCombiner,
+        *,
+        pruning: PruningConfig | None = None,
+    ) -> None:
+        self.network = network
+        self.combiner = combiner
+        self.pruning = pruning or PruningConfig()
+        self._search = _BudgetSearch(network, combiner, pruning=self.pruning)
+        self._strategies: dict[str, RoutingStrategy] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"RoutingEngine(network={self.network!r}, "
+            f"combiner={type(self.combiner).__name__})"
+        )
+
+    # ------------------------------------------------------------------
+    # Query construction
+    # ------------------------------------------------------------------
+
+    @property
+    def resolution(self) -> float:
+        """Seconds per distribution grid tick (the cost table's resolution)."""
+        return self.combiner.costs.resolution
+
+    def query(self, source: int, target: int, budget: int) -> RoutingQuery:
+        """Build a validated tick-budget query."""
+        return RoutingQuery(source, target, budget)
+
+    def query_from_seconds(
+        self, source: int, target: int, budget_seconds: float
+    ) -> RoutingQuery:
+        """Build a query from a seconds budget on this engine's grid."""
+        return RoutingQuery.from_seconds(
+            source, target, budget_seconds, resolution=self.resolution
+        )
+
+    # ------------------------------------------------------------------
+    # Strategies
+    # ------------------------------------------------------------------
+
+    def strategy(self, name: str) -> RoutingStrategy:
+        """The (per-engine cached) strategy instance registered as ``name``."""
+        instance = self._strategies.get(name)
+        if instance is None:
+            cls = _STRATEGIES.get(name)
+            if cls is None:
+                raise KeyError(
+                    f"unknown routing strategy {name!r}; available: "
+                    f"{', '.join(available_strategies())}"
+                )
+            instance = cls()
+            self._strategies[name] = instance
+        return instance
+
+    def heuristic_for(self, target: int) -> OptimisticHeuristic:
+        """The shared optimistic heuristic for ``target`` (LRU-cached)."""
+        return OptimisticHeuristic.shared(self.network, self.combiner.costs, target)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def route(
+        self,
+        query: RoutingQuery,
+        *,
+        strategy: str = "pbr",
+        time_limit_seconds: float | None = None,
+        **kwargs: Any,
+    ) -> RoutingResult:
+        """Answer one query under ``strategy``.
+
+        ``time_limit_seconds`` bounds the wall clock for strategies that
+        support it (``"pbr"`` optionally, ``"anytime"`` mandatorily);
+        strategy-specific options (e.g. the oracle's ``max_edges``) pass
+        through ``kwargs``.
+        """
+        return self.strategy(strategy).route(
+            self, query, time_limit_seconds=time_limit_seconds, **kwargs
+        )
+
+    def route_many(
+        self,
+        queries: Iterable[RoutingQuery],
+        *,
+        strategy: str = "pbr",
+        time_limit_seconds: float | None = None,
+        **kwargs: Any,
+    ) -> BatchResult:
+        """Answer a batch of queries, amortising shared caches across them.
+
+        Queries are *processed* grouped by target — consecutive same-target
+        searches hit the optimistic-heuristic LRU even when the batch spans
+        more distinct targets than the LRU holds — but ``results`` preserves
+        the input order.  ``time_limit_seconds`` applies per query, so a
+        batch's worst-case latency is ``len(queries) * time_limit_seconds``;
+        strategy-specific ``kwargs`` (e.g. the oracle's ``max_edges``) apply
+        to every member, exactly as in :meth:`route`.  An empty batch
+        returns zero results and zeroed aggregate stats.
+        """
+        query_list = list(queries)
+        order = sorted(range(len(query_list)), key=lambda i: query_list[i].target)
+        routed = {
+            index: self.route(
+                query_list[index],
+                strategy=strategy,
+                time_limit_seconds=time_limit_seconds,
+                **kwargs,
+            )
+            for index in order
+        }
+        results = tuple(routed[index] for index in range(len(query_list)))
+        return BatchResult(
+            results=results,
+            stats=SearchStats.aggregate(result.stats for result in results),
+        )
+
+    def route_stream(
+        self,
+        query: RoutingQuery,
+        time_limits: Sequence[float],
+    ) -> Iterator[RoutingResult]:
+        """Yield improving anytime pivots over ascending wall-clock limits.
+
+        Each yielded result is what a caller granting at most that limit
+        would have received; because each run is an independent
+        deterministic search, later (larger) limits never yield a worse
+        pivot.  ``time_limits`` must be strictly increasing and positive —
+        a non-increasing sweep would re-spend wall clock for answers the
+        stream already delivered, so it is rejected (at the call site, not
+        on first iteration) as a caller bug.  One optimistic heuristic is
+        built up front and shared by every run so the stream measures
+        search time, not repeated reverse Dijkstras.
+        """
+        limits = [float(limit) for limit in time_limits]
+        if any(not math.isfinite(limit) or limit <= 0 for limit in limits):
+            raise ValueError("route_stream time limits must be positive and finite")
+        if any(b <= a for a, b in zip(limits, limits[1:])):
+            raise ValueError(
+                "route_stream time limits must be strictly increasing; "
+                "sort/deduplicate the sweep before streaming"
+            )
+
+        def stream() -> Iterator[RoutingResult]:
+            heuristic = self.heuristic_for(query.target)
+            for limit in limits:
+                yield self._search.route(
+                    query, time_limit_seconds=limit, heuristic=heuristic
+                )
+
+        return stream()
+
+    # ------------------------------------------------------------------
+    # Serialisation convenience
+    # ------------------------------------------------------------------
+
+    def result_from_dict(self, data: Mapping[str, Any]) -> RoutingResult:
+        """Rebuild a serialised result against this engine's network."""
+        return RoutingResult.from_dict(data, self.network)

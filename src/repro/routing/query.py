@@ -1,13 +1,49 @@
-"""Routing query/result value types and search statistics."""
+"""Routing query/result value types and search statistics.
+
+Everything a routing service exchanges with callers lives here: the
+immutable :class:`RoutingQuery` (with explicit seconds-to-ticks conversion
+through :meth:`RoutingQuery.from_seconds`), the :class:`SearchStats`
+observability counters, and the :class:`RoutingResult` answer.  All three
+are JSON-serialisable via ``to_dict`` / ``from_dict`` so
+:class:`~repro.routing.engine.RoutingEngine` responses are wire-ready.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+import numbers
+from dataclasses import dataclass, field, fields
+from typing import Any, Iterable, Mapping
 
 from ..histograms import DiscreteDistribution
-from ..network import Edge
+from ..network import Edge, RoadNetwork
 
-__all__ = ["RoutingQuery", "SearchStats", "RoutingResult"]
+__all__ = ["MAX_BUDGET_TICKS", "RoutingQuery", "SearchStats", "RoutingResult"]
+
+#: Upper bound on a query budget in grid ticks.  Distribution CDF reads clamp
+#: to probability 1 beyond the support, so a budget of, say, ``3.6e9`` (a
+#: caller passing epoch seconds or milliseconds by mistake) would silently
+#: answer "certain arrival" for every path.  Budgets beyond this bound are a
+#: unit error, not a routing problem, and are rejected at construction.
+MAX_BUDGET_TICKS = 10**9
+
+
+def _as_grid_int(value: Any, name: str) -> int:
+    """Validate one query field as a plain grid integer.
+
+    Rejects bools (``True`` is an ``int`` subtype) and non-integral values —
+    a float budget is almost always a seconds value that belongs in
+    :meth:`RoutingQuery.from_seconds` instead of silently truncating.
+    """
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        message = f"{name} must be an integer, got {value!r}"
+        if name == "budget":
+            message += (
+                "; budgets in seconds go through "
+                "RoutingQuery.from_seconds(..., resolution=...)"
+            )
+        raise TypeError(message)
+    return int(value)
 
 
 @dataclass(frozen=True)
@@ -23,15 +59,84 @@ class RoutingQuery:
     budget: int
 
     def __post_init__(self) -> None:
+        # Normalise (e.g. numpy integers) to plain ints so queries hash,
+        # compare and serialise uniformly.
+        object.__setattr__(self, "source", _as_grid_int(self.source, "source"))
+        object.__setattr__(self, "target", _as_grid_int(self.target, "target"))
+        object.__setattr__(self, "budget", _as_grid_int(self.budget, "budget"))
         if self.source == self.target:
             raise ValueError("source and target must differ")
         if self.budget < 1:
             raise ValueError("budget must be >= 1 tick")
+        if self.budget > MAX_BUDGET_TICKS:
+            raise ValueError(
+                f"budget of {self.budget} ticks exceeds the distribution grid "
+                f"bound ({MAX_BUDGET_TICKS}); CDF reads would clamp to 1.0. "
+                "Was a seconds/milliseconds value passed where ticks were "
+                "expected?  Use RoutingQuery.from_seconds for unit-aware "
+                "construction."
+            )
+
+    @classmethod
+    def from_seconds(
+        cls,
+        source: int,
+        target: int,
+        budget_seconds: float,
+        *,
+        resolution: float,
+    ) -> "RoutingQuery":
+        """Build a query from a wall-clock budget in seconds.
+
+        ``resolution`` is the distribution grid's tick size in seconds (the
+        :class:`~repro.core.costs.EdgeCostTable` resolution).  The budget is
+        floored onto the grid — ``P(cost <= budget)`` must never credit time
+        beyond the stated deadline — and sub-tick budgets are rejected
+        rather than rounded up to a full tick the caller never granted.
+        """
+        if not (isinstance(resolution, numbers.Real) and math.isfinite(resolution)):
+            raise ValueError(f"resolution must be a finite number, got {resolution!r}")
+        if resolution <= 0:
+            raise ValueError("resolution must be positive seconds per tick")
+        if not (
+            isinstance(budget_seconds, numbers.Real) and math.isfinite(budget_seconds)
+        ):
+            raise ValueError(
+                f"budget_seconds must be a finite number, got {budget_seconds!r}"
+            )
+        if budget_seconds <= 0:
+            raise ValueError("budget_seconds must be positive")
+        # The 1e-9 relative slack absorbs float division noise so exact
+        # multiples of the resolution land on their own tick.
+        ticks = int(math.floor(budget_seconds / float(resolution) * (1 + 1e-9)))
+        if ticks < 1:
+            raise ValueError(
+                f"budget of {budget_seconds} s is below one grid tick "
+                f"({resolution} s); the query cannot be represented on the "
+                "distribution grid"
+            )
+        return cls(source, target, ticks)
+
+    def budget_seconds(self, resolution: float) -> float:
+        """The tick budget expressed in seconds at ``resolution`` s/tick."""
+        if resolution <= 0:
+            raise ValueError("resolution must be positive seconds per tick")
+        return self.budget * float(resolution)
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-ready representation (exact :meth:`from_dict` round-trip)."""
+        return {"source": self.source, "target": self.target, "budget": self.budget}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RoutingQuery":
+        return cls(
+            source=data["source"], target=data["target"], budget=data["budget"]
+        )
 
 
 @dataclass
 class SearchStats:
-    """Observability counters for one PBR search."""
+    """Observability counters for one PBR search (or one aggregated batch)."""
 
     labels_generated: int = 0
     labels_expanded: int = 0
@@ -45,6 +150,36 @@ class SearchStats:
     @property
     def pruned_total(self) -> int:
         return self.pruned_by_bound + self.pruned_by_dominance + self.pruned_unreachable
+
+    @classmethod
+    def aggregate(cls, stats: Iterable["SearchStats"]) -> "SearchStats":
+        """Sum counters/runtimes across searches (batch observability).
+
+        ``completed`` is the conjunction: a batch only counts as complete
+        when every member search ran to completion.  An empty iterable
+        aggregates to zeroed counters with ``completed=True``.
+        """
+        total = cls()
+        for item in stats:
+            total.labels_generated += item.labels_generated
+            total.labels_expanded += item.labels_expanded
+            total.pruned_by_bound += item.pruned_by_bound
+            total.pruned_by_dominance += item.pruned_by_dominance
+            total.pruned_unreachable += item.pruned_unreachable
+            total.pivot_updates += item.pivot_updates
+            total.runtime_seconds += item.runtime_seconds
+            total.completed = total.completed and item.completed
+        return total
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (exact :meth:`from_dict` round-trip)."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["pruned_total"] = self.pruned_total
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchStats":
+        return cls(**{f.name: data[f.name] for f in fields(cls) if f.name in data})
 
 
 @dataclass(frozen=True)
@@ -75,3 +210,48 @@ class RoutingResult:
         if not self.path:
             return []
         return [self.path[0].source, *(edge.target for edge in self.path)]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation.
+
+        Edges serialise as ids (the network is shared context, not payload);
+        :meth:`from_dict` resolves them back against a network.  The cost
+        distribution serialises as ``{offset, probs}``.
+        """
+        return {
+            "query": self.query.to_dict(),
+            "path": [edge.id for edge in self.path],
+            "path_vertices": self.path_vertices(),
+            "distribution": (
+                None
+                if self.distribution is None
+                else {
+                    "offset": self.distribution.offset,
+                    "probs": [float(p) for p in self.distribution.probs],
+                }
+            ),
+            "probability": float(self.probability),
+            "found": self.found,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], network: RoadNetwork
+    ) -> "RoutingResult":
+        """Rebuild a result against ``network`` (edge ids -> edges)."""
+        dist_data = data.get("distribution")
+        distribution = (
+            None
+            if dist_data is None
+            else DiscreteDistribution(
+                dist_data["offset"], dist_data["probs"], normalize=False
+            )
+        )
+        return cls(
+            query=RoutingQuery.from_dict(data["query"]),
+            path=tuple(network.edge(edge_id) for edge_id in data["path"]),
+            distribution=distribution,
+            probability=float(data["probability"]),
+            stats=SearchStats.from_dict(data.get("stats", {})),
+        )

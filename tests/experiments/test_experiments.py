@@ -106,3 +106,63 @@ class TestWorkloads:
         net, costs = world
         with pytest.raises(ValueError):
             WorkloadGenerator(net, costs, budget_factor=1.0)
+
+
+class TestEngineConsistency:
+    """Experiment drivers reject a supplied engine that disagrees with
+    the explicit network/combiner arguments (the table must describe the
+    configuration that was actually measured)."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        from repro.routing import RoutingEngine
+
+        net = grid_network(4, 4, spacing=250.0, seed=1)
+        model = CongestionModel(net, seed=2)
+        costs = EdgeCostTable(net, resolution=5.0)
+        for edge in net.edges:
+            costs.set_cost(edge.id, model.edge_marginal(edge))
+        combiner = ConvolutionModel(costs)
+        generator = WorkloadGenerator(net, costs, seed=0)
+        band = DistanceBand(0.2, 1.2)
+        workload = {band: generator.generate_band(band, 2)}
+        return net, combiner, workload, RoutingEngine(net, combiner)
+
+    def test_efficiency_accepts_matching_engine(self, world):
+        from repro.experiments import run_efficiency_experiment
+
+        net, combiner, workload, engine = world
+        table = run_efficiency_experiment(net, combiner, workload, engine=engine)
+        assert len(table.rows) == 1
+
+    def test_efficiency_rejects_mismatched_combiner(self, world):
+        from repro.experiments import run_efficiency_experiment
+
+        net, combiner, workload, engine = world
+        other = ConvolutionModel(combiner.costs)
+        with pytest.raises(ValueError, match="disagrees"):
+            run_efficiency_experiment(net, other, workload, engine=engine)
+
+    def test_efficiency_rejects_mismatched_pruning(self, world):
+        from repro.experiments import run_efficiency_experiment
+        from repro.routing import PruningConfig
+
+        net, combiner, workload, engine = world
+        with pytest.raises(ValueError, match="disagrees"):
+            run_efficiency_experiment(
+                net,
+                combiner,
+                workload,
+                pruning=PruningConfig(use_dominance=False),
+                engine=engine,
+            )
+
+    def test_quality_rejects_mismatched_engine(self, world):
+        from repro.experiments import run_quality_experiment
+
+        net, combiner, workload, engine = world
+        other = ConvolutionModel(combiner.costs)
+        with pytest.raises(ValueError, match="hybrid_engine disagrees"):
+            run_quality_experiment(
+                net, other, combiner, None, workload, hybrid_engine=engine
+            )

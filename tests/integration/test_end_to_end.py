@@ -19,7 +19,7 @@ from repro.core.estimator import EstimatorConfig
 from repro.histograms import kl_divergence
 from repro.ml import MlpConfig
 from repro.network import grid_network
-from repro.routing import ProbabilisticBudgetRouter, RoutingQuery
+from repro.routing import RoutingEngine, RoutingQuery
 from repro.trajectories import (
     STRUCTURED_CONFIG,
     CongestionModel,
@@ -118,7 +118,7 @@ class TestModelAccuracy:
     def test_hybrid_stats_accumulate_during_routing(self, world):
         network, _, _, trained = world
         combiner = trained.hybrid_model()
-        router = ProbabilisticBudgetRouter(network, combiner)
+        router = RoutingEngine(network, combiner)
         router.route(RoutingQuery(0, 48, budget=60))
         assert combiner.stats.total > 0
 
@@ -126,7 +126,7 @@ class TestModelAccuracy:
 class TestRoutingIntegration:
     def test_routed_path_valid_and_scored(self, world):
         network, traffic, _, trained = world
-        router = ProbabilisticBudgetRouter(network, trained.hybrid_model())
+        router = RoutingEngine(network, trained.hybrid_model())
         result = router.route(RoutingQuery(0, 48, budget=60))
         assert result.found
         assert network.is_path(list(result.path))
@@ -138,8 +138,8 @@ class TestRoutingIntegration:
     def test_hybrid_and_convolution_agree_on_trivial_query(self, world):
         network, _, _, trained = world
         query = RoutingQuery(0, 1, budget=30)
-        hybrid = ProbabilisticBudgetRouter(network, trained.hybrid_model()).route(query)
-        conv = ProbabilisticBudgetRouter(network, trained.convolution_model()).route(query)
+        hybrid = RoutingEngine(network, trained.hybrid_model()).route(query)
+        conv = RoutingEngine(network, trained.convolution_model()).route(query)
         assert hybrid.path_vertices() == conv.path_vertices()
 
 
@@ -160,8 +160,8 @@ class TestPersistence:
         save_hybrid(trained, tmp_path)
         reloaded = load_hybrid(tmp_path, network)
         query = RoutingQuery(0, 24, budget=40)
-        a = ProbabilisticBudgetRouter(network, trained.hybrid_model()).route(query)
-        b = ProbabilisticBudgetRouter(network, reloaded.hybrid_model()).route(query)
+        a = RoutingEngine(network, trained.hybrid_model()).route(query)
+        b = RoutingEngine(network, reloaded.hybrid_model()).route(query)
         assert a.probability == pytest.approx(b.probability)
         assert a.path_vertices() == b.path_vertices()
 

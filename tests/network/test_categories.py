@@ -1,6 +1,5 @@
 """Unit tests for the road-category taxonomy."""
 
-import pytest
 
 from repro.network import FREE_FLOW_SPEED_KMH, RoadCategory
 

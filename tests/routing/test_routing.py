@@ -1,4 +1,4 @@
-"""Unit + oracle tests for probabilistic budget routing."""
+"""Unit + oracle tests for probabilistic budget routing (engine facade)."""
 
 import numpy as np
 import pytest
@@ -11,6 +11,7 @@ from repro.routing import (
     OptimisticHeuristic,
     ProbabilisticBudgetRouter,
     PruningConfig,
+    RoutingEngine,
     RoutingQuery,
     all_simple_paths,
     exhaustive_best_path,
@@ -29,6 +30,12 @@ def world():
     return net, ConvolutionModel(costs)
 
 
+@pytest.fixture(scope="module")
+def engine(world):
+    net, conv = world
+    return RoutingEngine(net, conv)
+
+
 class TestQueryTypes:
     def test_query_validation(self):
         with pytest.raises(ValueError):
@@ -36,9 +43,8 @@ class TestQueryTypes:
         with pytest.raises(ValueError):
             RoutingQuery(0, 1, budget=0)
 
-    def test_result_path_vertices(self, world):
-        net, conv = world
-        result = ProbabilisticBudgetRouter(net, conv).route(RoutingQuery(0, 6, 30))
+    def test_result_path_vertices(self, engine):
+        result = engine.route(RoutingQuery(0, 6, 30))
         vertices = result.path_vertices()
         assert vertices[0] == 0
         assert vertices[-1] == 6
@@ -76,28 +82,24 @@ class TestHeuristic:
 
 
 class TestCorrectness:
-    def test_matches_exhaustive_oracle(self, world):
-        net, conv = world
-        router = ProbabilisticBudgetRouter(net, conv)
+    def test_matches_exhaustive_oracle(self, engine):
         rng = np.random.default_rng(0)
         for _ in range(15):
             s, t = rng.choice(25, size=2, replace=False)
             query = RoutingQuery(int(s), int(t), budget=int(rng.integers(15, 60)))
-            ours = router.route(query)
-            oracle = exhaustive_best_path(net, conv, query, max_edges=8)
+            ours = engine.route(query)
+            oracle = engine.route(query, strategy="oracle", max_edges=8)
             # oracle only sees <=8-edge paths, so PBR may legitimately beat it
             assert ours.probability >= oracle.probability - 1e-9
 
-    def test_probability_matches_distribution(self, world):
-        net, conv = world
-        result = ProbabilisticBudgetRouter(net, conv).route(RoutingQuery(0, 12, 30))
+    def test_probability_matches_distribution(self, engine):
+        result = engine.route(RoutingQuery(0, 12, 30))
         assert result.probability == pytest.approx(
             result.distribution.prob_within(30)
         )
 
-    def test_returned_path_is_connected(self, world):
-        net, conv = world
-        result = ProbabilisticBudgetRouter(net, conv).route(RoutingQuery(0, 24, 60))
+    def test_returned_path_is_connected(self, engine):
+        result = engine.route(RoutingQuery(0, 24, 60))
         assert result.found
         assert result.path[0].source == 0
         assert result.path[-1].target == 24
@@ -112,46 +114,46 @@ class TestCorrectness:
         net.add_vertex(2, 200.0, 0.0)
         net.add_edge(0, 1)
         costs = EdgeCostTable(net, resolution=5.0)
-        conv = ConvolutionModel(costs)
-        result = ProbabilisticBudgetRouter(net, conv).route(RoutingQuery(0, 2, 10))
+        result = RoutingEngine(net, ConvolutionModel(costs)).route(RoutingQuery(0, 2, 10))
         assert not result.found
         assert result.probability == 0.0
 
-    def test_impossible_budget_returns_fallback_path(self, world):
-        net, conv = world
-        result = ProbabilisticBudgetRouter(net, conv).route(RoutingQuery(0, 24, 1))
+    def test_impossible_budget_returns_fallback_path(self, engine):
+        result = engine.route(RoutingQuery(0, 24, 1))
         assert result.found  # optimistically fastest path, probability ~0
         assert result.probability <= 1e-9
 
 
 class TestPruningAblation:
     @pytest.mark.parametrize(
-        "pruning",
+        "pruning_kwargs",
         [
-            PruningConfig(use_dominance=False),
-            PruningConfig(use_pivot=False),
-            PruningConfig(use_cost_shifting=False),
-            PruningConfig(use_heuristic=False, use_cost_shifting=False),
-            PruningConfig(
-                use_heuristic=False,
-                use_cost_shifting=False,
-                use_pivot=False,
-                use_dominance=False,
-            ),
+            {"use_dominance": False},
+            {"use_pivot": False},
+            {"use_cost_shifting": False},
+            {"use_heuristic": False, "use_cost_shifting": False},
+            {
+                "use_heuristic": False,
+                "use_cost_shifting": False,
+                "use_pivot": False,
+                "use_dominance": False,
+            },
         ],
     )
-    def test_prunings_preserve_answer(self, world, pruning):
+    def test_prunings_preserve_answer(self, world, engine, pruning_kwargs):
         net, conv = world
         query = RoutingQuery(0, 18, budget=40)
-        reference = ProbabilisticBudgetRouter(net, conv).route(query)
-        variant = ProbabilisticBudgetRouter(net, conv, pruning=pruning).route(query)
+        reference = engine.route(query)
+        variant = RoutingEngine(
+            net, conv, pruning=PruningConfig(**pruning_kwargs)
+        ).route(query)
         assert variant.probability == pytest.approx(reference.probability, abs=1e-9)
 
-    def test_pruning_reduces_generated_labels(self, world):
+    def test_pruning_reduces_generated_labels(self, world, engine):
         net, conv = world
         query = RoutingQuery(0, 24, budget=40)
-        full = ProbabilisticBudgetRouter(net, conv).route(query)
-        bare = ProbabilisticBudgetRouter(
+        full = engine.route(query)
+        bare = RoutingEngine(
             net,
             conv,
             pruning=PruningConfig(
@@ -167,9 +169,8 @@ class TestPruningAblation:
         with pytest.raises(ValueError):
             PruningConfig(use_heuristic=False, use_cost_shifting=True)
 
-    def test_stats_populated(self, world):
-        net, conv = world
-        result = ProbabilisticBudgetRouter(net, conv).route(RoutingQuery(0, 24, 40))
+    def test_stats_populated(self, engine):
+        result = engine.route(RoutingQuery(0, 24, 40))
         stats = result.stats
         assert stats.labels_generated > 0
         assert stats.labels_expanded > 0
@@ -190,44 +191,86 @@ class TestRiskAverseChoice:
         risky = DiscreteDistribution.from_mapping({15: 0.8, 40: 0.2})
         costs.set_cost(2, risky)
         costs.set_cost(3, risky)
-        conv = ConvolutionModel(costs)
+        engine = RoutingEngine(net, ConvolutionModel(costs))
 
         deadline = RoutingQuery(0, 3, budget=50)
-        result = ProbabilisticBudgetRouter(net, conv).route(deadline)
+        result = engine.route(deadline)
         assert result.path_vertices() == [0, 1, 3]  # steady route wins
         assert result.probability == pytest.approx(1.0)
 
-        mean_route = expected_time_path(net, conv, deadline)
+        mean_route = engine.route(deadline, strategy="expected_time")
         assert mean_route.path_vertices() == [0, 2, 3]  # averages pick risky
         assert mean_route.probability < result.probability
 
 
 class TestAnytime:
-    def test_time_limit_returns_result(self, world):
-        net, conv = world
-        router = AnytimeRouter(net, conv)
-        result = router.route(RoutingQuery(0, 24, 40), time_limit_seconds=0.0005)
+    def test_time_limit_returns_result(self, engine):
+        result = engine.route(
+            RoutingQuery(0, 24, 40), strategy="anytime", time_limit_seconds=0.0005
+        )
         assert result.found
 
-    def test_unbounded_at_least_as_good(self, world):
-        net, conv = world
-        router = AnytimeRouter(net, conv)
+    def test_unbounded_at_least_as_good(self, engine):
         query = RoutingQuery(0, 24, 40)
-        bounded = router.route(query, time_limit_seconds=0.0005)
-        unbounded = router.route_unbounded(query)
+        bounded = engine.route(query, strategy="anytime", time_limit_seconds=0.0005)
+        unbounded = engine.route(query)
         assert unbounded.probability >= bounded.probability - 1e-9
 
-    def test_quality_curve_monotone_limits(self, world):
+    def test_stream_over_ascending_limits(self, engine):
+        results = list(engine.route_stream(RoutingQuery(0, 24, 40), [0.001, 0.05, 0.2]))
+        assert len(results) == 3
+        probs = [r.probability for r in results]
+        assert all(b >= a - 1e-9 for a, b in zip(probs, probs[1:]))
+        assert results[-1].stats.completed
+
+    def test_anytime_requires_limit(self, engine):
+        with pytest.raises(ValueError):
+            engine.route(RoutingQuery(0, 1, 10), strategy="anytime")
+
+    def test_bad_limit_raises(self, engine):
+        with pytest.raises(ValueError):
+            engine.route(
+                RoutingQuery(0, 1, 10), strategy="anytime", time_limit_seconds=0.0
+            )
+
+
+class TestDeprecatedShims:
+    """The legacy constructors still work but steer callers to the engine."""
+
+    def test_budget_router_warns_and_matches_engine(self, world, engine):
         net, conv = world
-        router = AnytimeRouter(net, conv)
+        query = RoutingQuery(0, 24, 40)
+        with pytest.warns(DeprecationWarning, match="RoutingEngine"):
+            router = ProbabilisticBudgetRouter(net, conv)
+        legacy = router.route(query)
+        modern = engine.route(query)
+        assert legacy.path == modern.path
+        assert legacy.probability == pytest.approx(modern.probability)
+
+    def test_anytime_router_warns_and_matches_engine(self, world, engine):
+        net, conv = world
+        query = RoutingQuery(0, 24, 40)
+        with pytest.warns(DeprecationWarning, match="route_stream"):
+            router = AnytimeRouter(net, conv)
+        legacy = router.route_unbounded(query)
+        modern = engine.route(query)
+        assert legacy.path == modern.path
+        assert legacy.probability == pytest.approx(modern.probability)
+
+    def test_anytime_router_quality_curve_still_works(self, world):
+        net, conv = world
+        with pytest.warns(DeprecationWarning):
+            router = AnytimeRouter(net, conv)
         points = router.quality_curve(RoutingQuery(0, 24, 40), [0.2, 0.001, 0.05])
         assert [p.time_limit_seconds for p in points] == [0.001, 0.05, 0.2]
         assert points[-1].completed
 
-    def test_bad_limit_raises(self, world):
+    def test_anytime_router_bad_limit_raises(self, world):
         net, conv = world
+        with pytest.warns(DeprecationWarning):
+            router = AnytimeRouter(net, conv)
         with pytest.raises(ValueError):
-            AnytimeRouter(net, conv).route(RoutingQuery(0, 1, 10), 0.0)
+            router.route(RoutingQuery(0, 1, 10), 0.0)
 
 
 class TestBaselines:

@@ -14,7 +14,7 @@ from repro.histograms import DiscreteDistribution
 from repro.network import grid_network
 from repro.routing import (
     OptimisticHeuristic,
-    ProbabilisticBudgetRouter,
+    RoutingEngine,
     PruningConfig,
     RoutingQuery,
     clear_heuristic_cache,
@@ -78,7 +78,7 @@ class TestHeuristicCache:
         fresh = OptimisticHeuristic.shared(net, costs, target=1)
         assert fresh is not stale
         assert fresh.reachable(2)
-        router = ProbabilisticBudgetRouter(net, ConvolutionModel(costs))
+        router = RoutingEngine(net, ConvolutionModel(costs))
         result = router.route(RoutingQuery(2, 1, budget=1000))
         assert result.found
         assert result.path_vertices() == [2, 0, 1]
@@ -107,7 +107,7 @@ class TestHeuristicCache:
 
     def test_router_results_unchanged_by_cache_hits(self, world):
         net, conv = world
-        router = ProbabilisticBudgetRouter(net, conv)
+        router = RoutingEngine(net, conv)
         query = RoutingQuery(0, 24, budget=60)
         cold = router.route(query)
         warm = router.route(query)
@@ -133,7 +133,7 @@ class TestEdgeCostMemo:
 class TestSimplePathInvariant:
     def test_routes_never_revisit_vertices(self, world):
         net, conv = world
-        router = ProbabilisticBudgetRouter(net, conv)
+        router = RoutingEngine(net, conv)
         rng = np.random.default_rng(11)
         for _ in range(20):
             s, t = rng.choice(25, size=2, replace=False)
@@ -145,8 +145,8 @@ class TestSimplePathInvariant:
 
     def test_dominance_pruning_is_result_neutral(self, world):
         net, conv = world
-        full = ProbabilisticBudgetRouter(net, conv)
-        no_dominance = ProbabilisticBudgetRouter(
+        full = RoutingEngine(net, conv)
+        no_dominance = RoutingEngine(
             net, conv, pruning=PruningConfig(use_dominance=False)
         )
         rng = np.random.default_rng(5)
@@ -167,8 +167,8 @@ class TestTruncationExactness:
             exact_under_truncation = False
 
         untruncated = UntruncatedConvolution(conv.costs)
-        clipped_router = ProbabilisticBudgetRouter(net, conv)
-        full_router = ProbabilisticBudgetRouter(net, untruncated)
+        clipped_router = RoutingEngine(net, conv)
+        full_router = RoutingEngine(net, untruncated)
         rng = np.random.default_rng(17)
         for _ in range(10):
             s, t = rng.choice(25, size=2, replace=False)

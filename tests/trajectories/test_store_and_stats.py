@@ -1,6 +1,5 @@
 """Unit tests for the trajectory store, types and dependence statistics."""
 
-import numpy as np
 import pytest
 
 from repro.network import grid_network
