@@ -11,10 +11,20 @@ from .model_eval import ModelEvaluation, evaluate_model
 from .quality import QualityCell, QualityRow, QualityTable, run_quality_experiment
 from .runner import ReproductionRunner, get_runner
 from .tables import format_percent, format_seconds, render_table
+from .throughput import (
+    BudgetSweepRow,
+    BudgetSweepTable,
+    ThroughputRow,
+    ThroughputTable,
+    run_budget_sweep_experiment,
+    run_throughput_experiment,
+)
 from .workloads import BandedQuery, WorkloadGenerator
 
 __all__ = [
     "BandedQuery",
+    "BudgetSweepRow",
+    "BudgetSweepTable",
     "DependenceResult",
     "DistanceBand",
     "EfficiencyRow",
@@ -26,6 +36,8 @@ __all__ = [
     "QualityRow",
     "QualityTable",
     "ReproductionRunner",
+    "ThroughputRow",
+    "ThroughputTable",
     "WorkloadGenerator",
     "evaluate_model",
     "format_percent",
@@ -33,7 +45,9 @@ __all__ = [
     "get_preset",
     "get_runner",
     "render_table",
+    "run_budget_sweep_experiment",
     "run_dependence_experiment",
     "run_efficiency_experiment",
     "run_quality_experiment",
+    "run_throughput_experiment",
 ]

@@ -23,6 +23,12 @@ from .dependence import DependenceResult, run_dependence_experiment
 from .efficiency import EfficiencyTable, run_efficiency_experiment
 from .model_eval import ModelEvaluation, evaluate_model
 from .quality import QualityTable, run_quality_experiment
+from .throughput import (
+    BudgetSweepTable,
+    ThroughputTable,
+    run_budget_sweep_experiment,
+    run_throughput_experiment,
+)
 from .workloads import BandedQuery, WorkloadGenerator
 
 __all__ = ["ReproductionRunner", "get_runner"]
@@ -161,6 +167,27 @@ class ReproductionRunner:
         engine = self.engine("hybrid")
         return run_efficiency_experiment(
             self.network, engine.combiner, self.workload, engine=engine
+        )
+
+    def run_throughput(
+        self, *, workers: tuple[int, ...] = (1, 2, 4), model: str = "convolution"
+    ) -> ThroughputTable:
+        """Batch serving: the whole workload through ``route_many`` per worker count."""
+        engine = self.engine(model)
+        return run_throughput_experiment(
+            self.network, engine.combiner, self.workload, workers=workers, engine=engine
+        )
+
+    def run_budget_sweep(
+        self,
+        *,
+        factors: tuple[float, ...] = (1.1, 1.3, 1.6, 2.0),
+        model: str = "convolution",
+    ) -> BudgetSweepTable:
+        """Budget-vs-reliability sweep via one multi-budget search per query."""
+        engine = self.engine(model)
+        return run_budget_sweep_experiment(
+            self.network, engine.combiner, self.workload, factors=factors, engine=engine
         )
 
 

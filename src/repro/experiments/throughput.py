@@ -1,0 +1,195 @@
+"""Batch-serving experiments: worker scaling and multi-budget sweeps.
+
+The paper evaluates stochastic routing over whole query workloads and
+budget sweeps, not single queries.  These two artefacts put the engine's
+batch modes under measurement:
+
+* :func:`run_throughput_experiment` times :meth:`RoutingEngine.route_many`
+  over the flattened workload at several worker counts — the serving-side
+  counterpart of the E6 efficiency table;
+* :func:`run_budget_sweep_experiment` answers every workload query for a
+  whole vector of budget factors through the ``multi_budget`` strategy
+  (one label search per query instead of one per factor) and reports the
+  mean arrival probability per band and factor — the paper's
+  budget-vs-reliability trade-off at workload scale.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.models import CostCombiner
+from ..network import RoadNetwork
+from ..routing import RoutingEngine, normalize_budgets
+from ._engines import require_matching_engine
+from .config import DistanceBand
+from .tables import format_percent, format_seconds, render_table
+from .workloads import BandedQuery
+
+__all__ = [
+    "ThroughputRow",
+    "ThroughputTable",
+    "run_throughput_experiment",
+    "BudgetSweepRow",
+    "BudgetSweepTable",
+    "run_budget_sweep_experiment",
+]
+
+
+@dataclass(frozen=True)
+class ThroughputRow:
+    """Batch wall-clock at one worker count."""
+
+    workers: int
+    wall_seconds: float
+    queries_per_second: float
+    speedup_vs_serial: float
+    num_found: int
+
+
+@dataclass(frozen=True)
+class ThroughputTable:
+    rows: tuple[ThroughputRow, ...]
+    num_queries: int
+
+    def render(self) -> str:
+        headers = ["Workers", "Wall (sec)", "Queries/s", "Speedup"]
+        body = [
+            [
+                str(row.workers),
+                format_seconds(row.wall_seconds, digits=3),
+                f"{row.queries_per_second:.1f}",
+                f"{row.speedup_vs_serial:.2f}x",
+            ]
+            for row in self.rows
+        ]
+        return render_table(
+            headers, body, title=f"Batch throughput ({self.num_queries} queries)"
+        )
+
+    def row_for(self, workers: int) -> ThroughputRow:
+        for row in self.rows:
+            if row.workers == workers:
+                return row
+        raise KeyError(f"no throughput row for workers={workers}")
+
+
+def run_throughput_experiment(
+    network: RoadNetwork,
+    combiner: CostCombiner,
+    workload: dict[DistanceBand, list[BandedQuery]],
+    *,
+    workers: Sequence[int] = (1, 2, 4),
+    engine: RoutingEngine | None = None,
+) -> ThroughputTable:
+    """Time the whole flattened workload through ``route_many``.
+
+    ``workers`` must start with 1 (the serial reference every speedup is
+    relative to).  The serial pass runs first and warms the shared caches,
+    which is the conservative direction for the reported speedups: parallel
+    workers rebuild their caches from scratch inside the measured window.
+    """
+    workers = tuple(workers)
+    if not workers or workers[0] != 1:
+        raise ValueError("workers must start with 1 (the serial reference)")
+    if engine is None:
+        engine = RoutingEngine(network, combiner)
+    else:
+        require_matching_engine(engine, network, combiner)
+    queries = [banded.query for members in workload.values() for banded in members]
+    rows = []
+    serial_seconds = None
+    for count in workers:
+        begin = time.perf_counter()
+        batch = engine.route_many(queries, workers=None if count == 1 else count)
+        elapsed = time.perf_counter() - begin
+        if serial_seconds is None:
+            serial_seconds = elapsed
+        rows.append(
+            ThroughputRow(
+                workers=count,
+                wall_seconds=elapsed,
+                queries_per_second=len(queries) / elapsed if elapsed > 0 else 0.0,
+                speedup_vs_serial=serial_seconds / elapsed if elapsed > 0 else 0.0,
+                num_found=batch.num_found,
+            )
+        )
+    return ThroughputTable(rows=tuple(rows), num_queries=len(queries))
+
+
+@dataclass(frozen=True)
+class BudgetSweepRow:
+    """Mean arrival probability per budget factor for one distance band."""
+
+    band: DistanceBand
+    factors: tuple[float, ...]
+    mean_probabilities: tuple[float, ...]
+    num_queries: int
+
+
+@dataclass(frozen=True)
+class BudgetSweepTable:
+    rows: tuple[BudgetSweepRow, ...]
+
+    def render(self) -> str:
+        factors = self.rows[0].factors if self.rows else ()
+        headers = ["Dist (km)", *(f"x{factor:g}" for factor in factors)]
+        body = [
+            [
+                row.band.label,
+                *(format_percent(p, digits=1) for p in row.mean_probabilities),
+            ]
+            for row in self.rows
+        ]
+        return render_table(
+            headers, body, title="Arrival probability vs budget factor"
+        )
+
+
+def run_budget_sweep_experiment(
+    network: RoadNetwork,
+    combiner: CostCombiner,
+    workload: dict[DistanceBand, list[BandedQuery]],
+    *,
+    factors: Sequence[float] = (1.1, 1.3, 1.6, 2.0),
+    engine: RoutingEngine | None = None,
+) -> BudgetSweepTable:
+    """Answer every workload query over a budget-factor vector at once.
+
+    Each query's budget vector is ``ceil(factor * optimistic_ticks)`` per
+    factor, served by one ``multi_budget`` search; probabilities are read
+    back per factor (factors that collapse onto the same tick budget share
+    one answer).
+    """
+    factors = tuple(factors)
+    if not factors or any(f <= 1.0 for f in factors):
+        raise ValueError("budget factors must all exceed 1")
+    if engine is None:
+        engine = RoutingEngine(network, combiner)
+    else:
+        require_matching_engine(engine, network, combiner)
+    rows = []
+    for band, members in workload.items():
+        sums = [0.0] * len(factors)
+        for banded in members:
+            per_factor = [
+                max(1, int(math.ceil(factor * banded.optimistic_ticks)))
+                for factor in factors
+            ]
+            answer = engine.route_multi_budget(
+                banded.query.source, banded.query.target, normalize_budgets(per_factor)
+            )
+            for i, budget in enumerate(per_factor):
+                sums[i] += answer.best_for(budget).probability
+        rows.append(
+            BudgetSweepRow(
+                band=band,
+                factors=factors,
+                mean_probabilities=tuple(s / len(members) for s in sums),
+                num_queries=len(members),
+            )
+        )
+    return BudgetSweepTable(rows=tuple(rows))

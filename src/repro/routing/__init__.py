@@ -3,15 +3,14 @@
 The public entry point is :class:`RoutingEngine` — one facade over the
 paper's best-first PBR search (with the four prunings), the anytime
 extension, the baselines (expected-time Dijkstra, exhaustive oracle), batch
-routing and streaming anytime sweeps.  Strategies plug in through
-:func:`register_strategy`.  The legacy per-algorithm constructors
-(:class:`ProbabilisticBudgetRouter`, :class:`AnytimeRouter`) survive as
-deprecated shims.
+routing (optionally sharded across a worker pool), streaming anytime
+sweeps, multi-budget vectors and k-best route frontiers.  Strategies plug
+in through :func:`register_strategy`.
 """
 
-from .anytime import AnytimePoint, AnytimeRouter
+from .anytime import AnytimePoint
 from .baselines import all_simple_paths, exhaustive_best_path, expected_time_path
-from .budget import ProbabilisticBudgetRouter, PruningConfig
+from .budget import PruningConfig
 from .engine import (
     BatchResult,
     RoutingEngine,
@@ -20,16 +19,24 @@ from .engine import (
     register_strategy,
 )
 from .heuristics import OptimisticHeuristic, clear_heuristic_cache
-from .query import MAX_BUDGET_TICKS, RoutingQuery, RoutingResult, SearchStats
+from .query import (
+    MAX_BUDGET_TICKS,
+    KBestResult,
+    MultiBudgetResult,
+    RoutingQuery,
+    RoutingResult,
+    SearchStats,
+    normalize_budgets,
+    result_from_dict,
+)
 
 __all__ = [
     "AnytimePoint",
-    "AnytimeRouter",
     "BatchResult",
+    "KBestResult",
     "MAX_BUDGET_TICKS",
+    "MultiBudgetResult",
     "OptimisticHeuristic",
-    "clear_heuristic_cache",
-    "ProbabilisticBudgetRouter",
     "PruningConfig",
     "RoutingEngine",
     "RoutingQuery",
@@ -38,7 +45,10 @@ __all__ = [
     "SearchStats",
     "all_simple_paths",
     "available_strategies",
+    "clear_heuristic_cache",
     "exhaustive_best_path",
     "expected_time_path",
+    "normalize_budgets",
     "register_strategy",
+    "result_from_dict",
 ]

@@ -1,24 +1,21 @@
-"""The anytime extension of probabilistic budget routing.
+"""The anytime extension of probabilistic budget routing — value types.
 
 The paper: "we give an acceptable maximum run-time x as an additional input,
 and the algorithm returns the pivot path if search has not terminated after x
-time units."  :class:`AnytimeRouter` wraps the base router with that contract
-plus a sweep helper used by the quality-vs-time experiment (E8) and the
-anytime columns P1/P5/P10 of the quality table (E5).
+time units."  That contract lives in the engine — ``strategy="anytime"`` for
+one bounded answer, :meth:`~repro.routing.engine.RoutingEngine.route_stream`
+for an improving sweep.  This module keeps the :class:`AnytimePoint` value
+type used to summarise quality-vs-time curves (experiment E8 and the anytime
+columns P1/P5/P10 of the quality table E5).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
-from ..core.models import CostCombiner
-from ..network import RoadNetwork
-from .budget import PruningConfig, _BudgetSearch
-from .heuristics import OptimisticHeuristic
-from .query import RoutingQuery, RoutingResult
+from .query import RoutingResult
 
-__all__ = ["AnytimePoint", "AnytimeRouter"]
+__all__ = ["AnytimePoint"]
 
 
 @dataclass(frozen=True)
@@ -30,73 +27,14 @@ class AnytimePoint:
     completed: bool
     num_edges: int
 
-
-class AnytimeRouter:
-    """PBR with a wall-clock budget; returns the pivot on expiry.
-
-    Deprecated direct-construction entry point: new code should use
-    :class:`repro.routing.RoutingEngine` with ``strategy="anytime"`` (one
-    bounded answer) or :meth:`RoutingEngine.route_stream` (improving pivots
-    across a sweep of limits).
-    """
-
-    def __init__(
-        self,
-        network: RoadNetwork,
-        combiner: CostCombiner,
-        *,
-        pruning: PruningConfig | None = None,
-    ) -> None:
-        warnings.warn(
-            "AnytimeRouter is deprecated; use repro.routing.RoutingEngine "
-            "with strategy='anytime' or RoutingEngine.route_stream instead",
-            DeprecationWarning,
-            stacklevel=2,
+    @classmethod
+    def from_result(
+        cls, time_limit_seconds: float, result: RoutingResult
+    ) -> "AnytimePoint":
+        """Summarise one bounded-search answer as a curve point."""
+        return cls(
+            time_limit_seconds=time_limit_seconds,
+            probability=result.probability,
+            completed=result.stats.completed,
+            num_edges=result.num_edges,
         )
-        self._router = _BudgetSearch(network, combiner, pruning=pruning)
-
-    @staticmethod
-    def _check_limit(time_limit_seconds: float) -> float:
-        if time_limit_seconds <= 0:
-            raise ValueError("time_limit_seconds must be positive")
-        return time_limit_seconds
-
-    def route(self, query: RoutingQuery, time_limit_seconds: float) -> RoutingResult:
-        """Answer within ``time_limit_seconds`` (pivot path on timeout)."""
-        return self._router.route(
-            query, time_limit_seconds=self._check_limit(time_limit_seconds)
-        )
-
-    def route_unbounded(self, query: RoutingQuery) -> RoutingResult:
-        """The P-infinity reference: run the search to completion."""
-        return self._router.route(query)
-
-    def quality_curve(
-        self, query: RoutingQuery, time_limits: list[float]
-    ) -> list[AnytimePoint]:
-        """Re-run the query under each time limit (ascending sweep).
-
-        Each limit is an independent run — the anytime algorithm is
-        deterministic given a limit, so the curve shows exactly what a user
-        asking for at most ``x`` seconds would have received.  One optimistic
-        heuristic is built up front and shared by every run: the reverse
-        Dijkstra is identical across limits, and rebuilding it inside each
-        timed run would distort the reported curve on small graphs.
-        """
-        heuristic = OptimisticHeuristic.shared(
-            self._router.network, self._router.combiner.costs, query.target
-        )
-        points = []
-        for limit in sorted(time_limits):
-            result = self._router.route(
-                query, time_limit_seconds=self._check_limit(limit), heuristic=heuristic
-            )
-            points.append(
-                AnytimePoint(
-                    time_limit_seconds=limit,
-                    probability=result.probability,
-                    completed=result.stats.completed,
-                    num_edges=result.num_edges,
-                )
-            )
-        return points

@@ -38,16 +38,22 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-import warnings
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..core.models import CostCombiner
-from ..histograms import DiscreteDistribution, ParetoFrontier
+from ..histograms import DiscreteDistribution, ParetoFrontier, weakly_dominates
 from ..network import Edge, RoadNetwork
 from .heuristics import OptimisticHeuristic
-from .query import RoutingQuery, RoutingResult, SearchStats
+from .query import (
+    KBestResult,
+    MultiBudgetResult,
+    RoutingQuery,
+    RoutingResult,
+    SearchStats,
+)
 
-__all__ = ["PruningConfig", "ProbabilisticBudgetRouter"]
+__all__ = ["PruningConfig"]
 
 
 @dataclass(frozen=True)
@@ -108,9 +114,8 @@ class _BudgetSearch:
 
     This class is the implementation behind the public
     :class:`~repro.routing.engine.RoutingEngine` facade; external callers
-    should go through the engine (the legacy
-    :class:`ProbabilisticBudgetRouter` constructor below survives as a
-    deprecated shim).
+    should go through the engine, which owns the shared heuristic state and
+    exposes the strategy registry, batch and streaming modes.
     """
 
     def __init__(
@@ -276,22 +281,12 @@ class _BudgetSearch:
             # No complete path beat probability 0 within the budget (or the
             # anytime limit fired before any arrival) — fall back to the
             # optimistically fastest path so callers always get a route.
-            from ..network.paths import shortest_path
-
-            try:
-                path = shortest_path(
-                    self.network,
-                    query.source,
-                    query.target,
-                    weight=lambda edge: float(self.combiner.costs.min_ticks(edge)),
-                )
-            except ValueError:
+            fallback = self._fallback_route(query.source, query.target)
+            if fallback is None:
                 return RoutingResult(query, (), None, 0.0, stats)
-            from ..core.path_cost import PathCostComputer
-
-            dist = PathCostComputer(self.combiner).cost(path)
+            path, dist = fallback
             return RoutingResult(
-                query, tuple(path), dist, dist.prob_within(query.budget), stats
+                query, path, dist, dist.prob_within(query.budget), stats
             )
         return RoutingResult(
             query,
@@ -301,27 +296,386 @@ class _BudgetSearch:
             stats,
         )
 
+    def _fallback_route(
+        self, source: int, target: int
+    ) -> tuple[tuple[Edge, ...], DiscreteDistribution] | None:
+        """The optimistically fastest path and its cost, or None if none."""
+        from ..network.paths import shortest_path
 
-class ProbabilisticBudgetRouter(_BudgetSearch):
-    """Deprecated direct-construction entry point for the PBR search.
+        try:
+            path = shortest_path(
+                self.network,
+                source,
+                target,
+                weight=lambda edge: float(self.combiner.costs.min_ticks(edge)),
+            )
+        except ValueError:
+            return None
+        from ..core.path_cost import PathCostComputer
 
-    Kept as a thin working shim for existing callers; new code should route
-    through :class:`repro.routing.RoutingEngine`, which owns the network,
-    combiner and shared heuristic state and exposes batch/streaming modes.
-    """
+        return tuple(path), PathCostComputer(self.combiner).cost(path)
 
-    def __init__(
+    # ------------------------------------------------------------------
+    # Multi-budget search
+    # ------------------------------------------------------------------
+
+    def route_multi_budget(
         self,
-        network: RoadNetwork,
-        combiner: CostCombiner,
+        query: RoutingQuery,
+        budgets: Sequence[int],
         *,
-        pruning: PruningConfig | None = None,
-    ) -> None:
-        warnings.warn(
-            "ProbabilisticBudgetRouter is deprecated; use "
-            "repro.routing.RoutingEngine(network, combiner).route(query) "
-            "(strategy='pbr') instead",
-            DeprecationWarning,
-            stacklevel=2,
+        time_limit_seconds: float | None = None,
+        heuristic: OptimisticHeuristic | None = None,
+    ) -> MultiBudgetResult:
+        """Answer one source/target pair for a whole budget vector at once.
+
+        A single label search serves every budget: per-vertex Pareto
+        frontiers (dominance is budget-independent), the optimistic
+        heuristic and every convolution are shared, while the pivot pruning
+        generalises to a per-budget pivot vector — a label survives when it
+        can still improve the answer of *some* budget.  Per-budget answers
+        match independent :meth:`route` runs (identical probabilities; routes
+        identical up to equal-probability ties, which the two exploration
+        orders may break differently).
+
+        ``budgets`` must be ascending, unique, with ``budgets[-1] ==
+        query.budget`` (the engine's ``route_multi_budget`` helper constructs
+        both consistently).
+        """
+        start_time = time.perf_counter()
+        stats = SearchStats()
+        budgets = tuple(budgets)
+        if not budgets or any(
+            b <= a for a, b in zip(budgets, budgets[1:])
+        ):
+            raise ValueError("budgets must be non-empty and strictly ascending")
+        if budgets[-1] != query.budget:
+            raise ValueError("query.budget must equal max(budgets)")
+        queries = tuple(
+            RoutingQuery(query.source, query.target, b) for b in budgets
         )
-        super().__init__(network, combiner, pruning=pruning)
+        if heuristic is None:
+            heuristic = OptimisticHeuristic.shared(
+                self.network, self.combiner.costs, query.target
+            )
+        h_table = heuristic.table
+
+        if query.source not in h_table:
+            stats.completed = True
+            stats.runtime_seconds = time.perf_counter() - start_time
+            return MultiBudgetResult(
+                query=query,
+                budgets=budgets,
+                results=tuple(RoutingResult(q, (), None, 0.0) for q in queries),
+                stats=stats,
+            )
+
+        pruning = self.pruning
+        use_heuristic = pruning.use_heuristic
+        use_pivot = pruning.use_pivot
+        use_cost_shifting = pruning.use_cost_shifting
+        use_dominance = pruning.use_dominance
+        max_budget = budgets[-1]
+        target = query.target
+        num_budgets = len(budgets)
+        descending = range(num_budgets - 1, -1, -1)
+
+        #: Best complete probability per budget (-1 = no positive-probability
+        #: arrival yet), and the label that achieved it.
+        pivots = [-1.0] * num_budgets
+        best: list[_Label | None] = [None] * num_budgets
+        frontiers: dict[int, ParetoFrontier] = {}
+        counter = itertools.count()
+        heap: list[tuple[float, int, _Label]] = []
+        heappush = heapq.heappush
+
+        def improvable(dist: DiscreteDistribution, shift: int) -> bool:
+            """Can any budget's answer still be beaten by this label?"""
+            for i in descending:
+                bound = dist.prob_within(budgets[i] - shift)
+                if bound <= 0.0:
+                    # CDF monotone: smaller budgets bound even lower.
+                    return False
+                if bound > pivots[i]:
+                    return True
+            return False
+
+        def consider(label: _Label) -> None:
+            stats.labels_generated += 1
+            vertex = label.vertex
+            dist = label.distribution
+            shift = 0
+            if use_heuristic:
+                remaining = h_table.get(vertex)
+                if remaining is None:
+                    stats.pruned_unreachable += 1
+                    return
+                if use_cost_shifting:
+                    shift = int(remaining)
+            bound = dist.prob_within(max_budget - shift)
+            if bound <= 0.0:
+                stats.pruned_by_bound += 1
+                return
+            if use_pivot and not improvable(dist, shift):
+                stats.pruned_by_bound += 1
+                return
+            if use_dominance and vertex != target:
+                frontier = frontiers.get(vertex)
+                if frontier is None:
+                    frontier = ParetoFrontier(max_size=pruning.max_frontier_size)
+                    frontiers[vertex] = frontier
+                if not frontier.add(dist):
+                    stats.pruned_by_dominance += 1
+                    return
+            heappush(heap, (-bound, next(counter), label))
+
+        for edge in self.network.out_edges(query.source):
+            if edge.target == query.source:
+                continue
+            dist = self._clip(self.combiner.edge_cost(edge), max_budget)
+            consider(_Label(edge.target, dist, edge, None))
+
+        out_edges = self.network.out_edges
+        combine = self.combiner.combine
+        while heap:
+            if time_limit_seconds is not None and (
+                time.perf_counter() - start_time
+            ) > time_limit_seconds:
+                stats.completed = False
+                break
+            neg_bound, _, label = heapq.heappop(heap)
+            bound = -neg_bound
+            if use_pivot and bound <= pivots[0]:
+                # Best-first on the max-budget bound: every remaining label's
+                # bound at budget i is <= this bound <= min(pivots), so no
+                # budget's answer can improve.
+                stats.pruned_by_bound += 1
+                break
+            if label.vertex == target:
+                dist = label.distribution
+                improved = False
+                for i in descending:
+                    probability = dist.prob_within(budgets[i])
+                    if probability <= 0.0:
+                        break
+                    if probability > pivots[i]:
+                        pivots[i] = probability
+                        best[i] = label
+                        improved = True
+                if improved:
+                    stats.pivot_updates += 1
+                continue
+            if use_pivot:
+                # Pivots may have moved since this label was queued.
+                shift = 0
+                if use_heuristic and use_cost_shifting:
+                    shift = int(h_table[label.vertex])
+                if not improvable(label.distribution, shift):
+                    stats.pruned_by_bound += 1
+                    continue
+            stats.labels_expanded += 1
+            path_vertices = {query.source}
+            node: _Label | None = label
+            while node is not None:
+                path_vertices.add(node.vertex)
+                node = node.parent
+            for edge in out_edges(label.vertex):
+                if edge.target in path_vertices:
+                    continue
+                combined = self._clip(combine(label.distribution, edge), max_budget)
+                consider(_Label(edge.target, combined, edge, label))
+
+        stats.runtime_seconds = time.perf_counter() - start_time
+        fallback: tuple[tuple[Edge, ...], DiscreteDistribution] | None = None
+        if any(item is None for item in best):
+            fallback = self._fallback_route(query.source, query.target)
+        results = []
+        for i, member_query in enumerate(queries):
+            label = best[i]
+            if label is not None:
+                results.append(
+                    RoutingResult(
+                        member_query, label.path(), label.distribution, pivots[i]
+                    )
+                )
+            elif fallback is not None:
+                path, dist = fallback
+                results.append(
+                    RoutingResult(
+                        member_query, path, dist, dist.prob_within(budgets[i])
+                    )
+                )
+            else:
+                results.append(RoutingResult(member_query, (), None, 0.0))
+        return MultiBudgetResult(
+            query=query, budgets=budgets, results=tuple(results), stats=stats
+        )
+
+    # ------------------------------------------------------------------
+    # K-best search
+    # ------------------------------------------------------------------
+
+    def route_kbest(
+        self,
+        query: RoutingQuery,
+        k: int,
+        *,
+        time_limit_seconds: float | None = None,
+        heuristic: OptimisticHeuristic | None = None,
+    ) -> KBestResult:
+        """The top-``k`` non-dominated routes at the target, best first.
+
+        The search is the PBR best-first label search with one change: the
+        pivot pruning threshold is the k-th best arrival probability among
+        the current target frontier (instead of the single best), so every
+        route that can still enter the top k stays alive.  Complete arrivals
+        are kept as an antichain under weak stochastic dominance — a route
+        whose arrival distribution is dominated offers no budget at which it
+        would be the better choice, mirroring the interior dominance pruning.
+
+        With ``k == 1`` the answer's single route carries the same maximal
+        probability as :meth:`route`.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        start_time = time.perf_counter()
+        stats = SearchStats()
+        if heuristic is None:
+            heuristic = OptimisticHeuristic.shared(
+                self.network, self.combiner.costs, query.target
+            )
+        h_table = heuristic.table
+
+        if query.source not in h_table:
+            stats.completed = True
+            stats.runtime_seconds = time.perf_counter() - start_time
+            return KBestResult(query=query, k=k, routes=(), stats=stats)
+
+        pruning = self.pruning
+        use_heuristic = pruning.use_heuristic
+        use_pivot = pruning.use_pivot
+        use_cost_shifting = pruning.use_cost_shifting
+        use_dominance = pruning.use_dominance
+        budget = query.budget
+        target = query.target
+
+        #: Non-dominated complete arrivals: (label, probability) pairs.
+        candidates: list[tuple[_Label, float]] = []
+        #: Pruning threshold: the k-th largest *distinct* arrival probability
+        #: (-1 until k distinct values exist).  Distinct values are what makes
+        #: the threshold monotone and the pruning sound: an eviction replaces
+        #: frontier members with an equal-probability dominator (arrivals pop
+        #: in non-increasing probability order, so a dominator can never have
+        #: a strictly higher budget probability than its victims), which can
+        #: shrink the member count below k but never removes a probability
+        #: value — so at least k frontier members >= threshold always survive.
+        threshold = -1.0
+        frontiers: dict[int, ParetoFrontier] = {}
+        counter = itertools.count()
+        heap: list[tuple[float, int, _Label]] = []
+        heappush = heapq.heappush
+
+        def consider(label: _Label) -> None:
+            stats.labels_generated += 1
+            vertex = label.vertex
+            dist = label.distribution
+            if use_heuristic:
+                remaining = h_table.get(vertex)
+                if remaining is None:
+                    stats.pruned_unreachable += 1
+                    return
+                if use_cost_shifting:
+                    bound = dist.prob_within(budget - int(remaining))
+                else:
+                    bound = dist.prob_within(budget)
+            else:
+                bound = dist.prob_within(budget)
+            if bound <= 0.0:
+                stats.pruned_by_bound += 1
+                return
+            if use_pivot and bound <= threshold:
+                stats.pruned_by_bound += 1
+                return
+            if use_dominance and vertex != target:
+                frontier = frontiers.get(vertex)
+                if frontier is None:
+                    frontier = ParetoFrontier(max_size=pruning.max_frontier_size)
+                    frontiers[vertex] = frontier
+                if not frontier.add(dist):
+                    stats.pruned_by_dominance += 1
+                    return
+            heappush(heap, (-bound, next(counter), label))
+
+        for edge in self.network.out_edges(query.source):
+            if edge.target == query.source:
+                continue
+            dist = self._clip(self.combiner.edge_cost(edge), budget)
+            consider(_Label(edge.target, dist, edge, None))
+
+        out_edges = self.network.out_edges
+        combine = self.combiner.combine
+        while heap:
+            if time_limit_seconds is not None and (
+                time.perf_counter() - start_time
+            ) > time_limit_seconds:
+                stats.completed = False
+                break
+            neg_bound, _, label = heapq.heappop(heap)
+            bound = -neg_bound
+            if use_pivot and bound <= threshold:
+                # Best-first order: nothing left can crack the top k.
+                stats.pruned_by_bound += 1
+                break
+            if label.vertex == target:
+                dist = label.distribution
+                if any(
+                    weakly_dominates(kept.distribution, dist)
+                    for kept, _ in candidates
+                ):
+                    continue
+                candidates[:] = [
+                    (kept, p)
+                    for kept, p in candidates
+                    if not weakly_dominates(dist, kept.distribution)
+                ]
+                candidates.append((label, dist.prob_within(budget)))
+                stats.pivot_updates += 1
+                distinct = sorted({p for _, p in candidates}, reverse=True)
+                if len(distinct) >= k:
+                    threshold = distinct[k - 1]
+                continue
+            stats.labels_expanded += 1
+            path_vertices = {query.source}
+            node: _Label | None = label
+            while node is not None:
+                path_vertices.add(node.vertex)
+                node = node.parent
+            for edge in out_edges(label.vertex):
+                if edge.target in path_vertices:
+                    continue
+                combined = self._clip(combine(label.distribution, edge), budget)
+                consider(_Label(edge.target, combined, edge, label))
+
+        stats.runtime_seconds = time.perf_counter() - start_time
+        if not candidates:
+            # Mirror :meth:`route`: always give the caller a route when one
+            # exists, even at (near-)zero probability.
+            fallback = self._fallback_route(query.source, query.target)
+            if fallback is None:
+                return KBestResult(query=query, k=k, routes=(), stats=stats)
+            path, dist = fallback
+            route = RoutingResult(query, path, dist, dist.prob_within(budget))
+            return KBestResult(query=query, k=k, routes=(route,), stats=stats)
+        ranked = sorted(
+            range(len(candidates)), key=lambda i: (-candidates[i][1], i)
+        )[:k]
+        routes = tuple(
+            RoutingResult(
+                query,
+                candidates[i][0].path(),
+                candidates[i][0].distribution,
+                candidates[i][1],
+            )
+            for i in ranked
+        )
+        return KBestResult(query=query, k=k, routes=routes, stats=stats)

@@ -2,26 +2,32 @@
 
 The paper frames stochastic routing as a single query interface
 parameterised by budget, time limit and cost model.  Before this module,
-every caller hand-wired :class:`ProbabilisticBudgetRouter` /
-:class:`AnytimeRouter` / the baseline functions together with a cost
-combiner, budget-in-ticks conversion and heuristic-cache management.  The
-engine centralises that wiring the way production trip-dispatch stacks do:
+every caller hand-wired the label search, the baseline functions, a cost
+combiner, budget-in-ticks conversion and heuristic-cache management
+together.  The engine centralises that wiring the way production
+trip-dispatch stacks do:
 
 * it **owns** the network, the combiner and the shared
   :class:`~repro.routing.heuristics.OptimisticHeuristic` state, so repeated
   and batched queries amortise the reverse-Dijkstra and cached-CDF costs;
 * :meth:`RoutingEngine.route` answers one query under any registered
-  **strategy** (``"pbr"``, ``"anytime"``, ``"expected_time"``,
-  ``"oracle"`` out of the box);
+  **strategy** (``"pbr"``, ``"anytime"``, ``"expected_time"``, ``"oracle"``,
+  ``"multi_budget"``, ``"kbest"`` out of the box);
 * :meth:`RoutingEngine.route_many` serves batch workloads, grouping
   queries by target so the heuristic LRU stays hot, and returns a
   :class:`BatchResult` with aggregated :class:`SearchStats`;
+  ``workers=N`` shards the batch by target across a multiprocessing pool
+  (each worker rebuilds the engine from a pickled spec);
 * :meth:`RoutingEngine.route_stream` yields improving anytime pivots over
   an ascending sweep of wall-clock limits, sharing one heuristic across
-  the whole sweep.
+  the whole sweep;
+* :meth:`RoutingEngine.route_multi_budget` answers one source/target pair
+  for a whole budget vector in a single label search, and
+  :meth:`RoutingEngine.route_kbest` surfaces the top-k non-dominated routes
+  at the target instead of just the argmax.
 
-New workloads (multi-budget routing, k-best paths, ...) plug in through the
-:func:`register_strategy` decorator without touching the engine:
+New workloads plug in through the :func:`register_strategy` decorator
+without touching the engine:
 
     >>> @register_strategy("my_strategy")
     ... class MyStrategy(RoutingStrategy):
@@ -35,6 +41,9 @@ from __future__ import annotations
 
 import abc
 import math
+import multiprocessing
+import numbers
+import pickle
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
@@ -43,7 +52,15 @@ from ..network import RoadNetwork
 from .baselines import exhaustive_best_path, expected_time_path
 from .budget import PruningConfig, _BudgetSearch
 from .heuristics import OptimisticHeuristic
-from .query import RoutingQuery, RoutingResult, SearchStats
+from .query import (
+    KBestResult,
+    MultiBudgetResult,
+    RoutingQuery,
+    RoutingResult,
+    SearchStats,
+    normalize_budgets,
+    result_from_dict,
+)
 
 __all__ = [
     "BatchResult",
@@ -52,6 +69,12 @@ __all__ = [
     "available_strategies",
     "register_strategy",
 ]
+
+#: Any answer a strategy may produce.  ``None`` means the strategy declined
+#: to answer (e.g. its wall-clock limit expired before it had anything) —
+#: distinct from a ``RoutingResult`` with ``found == False``, which is a
+#: definitive "no route exists".
+StrategyAnswer = RoutingResult | MultiBudgetResult | KBestResult | None
 
 
 # ----------------------------------------------------------------------
@@ -83,8 +106,16 @@ class RoutingStrategy(abc.ABC):
         *,
         time_limit_seconds: float | None = None,
         **kwargs: Any,
-    ) -> RoutingResult:
-        """Answer ``query`` using ``engine``'s shared state."""
+    ) -> StrategyAnswer:
+        """Answer ``query`` using ``engine``'s shared state.
+
+        Most strategies return a :class:`RoutingResult`; richer strategies
+        may return :class:`MultiBudgetResult` / :class:`KBestResult` (any
+        answer type exposing ``found``, ``stats`` and ``to_dict``).
+        Returning ``None`` means "no answer" (e.g. a time limit expired
+        before the strategy had anything) and is reported distinctly from a
+        found-nothing result by :class:`BatchResult`.
+        """
 
     def check_time_limit(self, time_limit_seconds: float | None) -> float | None:
         """Validate the limit against this strategy's capabilities."""
@@ -190,6 +221,78 @@ class AnytimeStrategy(PBRStrategy):
         )
 
 
+@register_strategy("multi_budget")
+class MultiBudgetStrategy(RoutingStrategy):
+    """One source/target pair answered for a whole budget vector.
+
+    A single label search serves every budget — the per-vertex Pareto
+    frontiers, the optimistic heuristic and every convolution are shared —
+    instead of re-running ``"pbr"`` once per budget.  Pass the vector as
+    ``budgets=``; ``query.budget`` must be its maximum (use
+    :meth:`RoutingEngine.route_multi_budget` to construct both together).
+    """
+
+    supports_time_limit = True
+
+    def route(
+        self,
+        engine: "RoutingEngine",
+        query: RoutingQuery,
+        *,
+        time_limit_seconds: float | None = None,
+        budgets: Iterable[int] | None = None,
+        heuristic: OptimisticHeuristic | None = None,
+    ) -> MultiBudgetResult:
+        if budgets is None:
+            raise ValueError(
+                "the 'multi_budget' strategy requires budgets=<tick vector>"
+            )
+        budget_vector = normalize_budgets(budgets)
+        if budget_vector[-1] != query.budget:
+            raise ValueError(
+                "query.budget must equal max(budgets); use "
+                "RoutingEngine.route_multi_budget to build both consistently"
+            )
+        return engine._search.route_multi_budget(
+            query,
+            budget_vector,
+            time_limit_seconds=self.check_time_limit(time_limit_seconds),
+            heuristic=heuristic,
+        )
+
+
+@register_strategy("kbest")
+class KBestStrategy(RoutingStrategy):
+    """Top-k non-dominated routes at the target (``k=...`` required).
+
+    Same label search as ``"pbr"`` with the pivot pruning relaxed to the
+    k-th best arrival, so the whole top of the target's Pareto frontier
+    survives — alternatives a dispatcher can offer, not just the argmax.
+    """
+
+    supports_time_limit = True
+
+    def route(
+        self,
+        engine: "RoutingEngine",
+        query: RoutingQuery,
+        *,
+        time_limit_seconds: float | None = None,
+        k: int | None = None,
+        heuristic: OptimisticHeuristic | None = None,
+    ) -> KBestResult:
+        if k is None:
+            raise ValueError("the 'kbest' strategy requires k=<positive int>")
+        if isinstance(k, bool) or not isinstance(k, numbers.Integral) or k < 1:
+            raise ValueError(f"k must be a positive integer, got {k!r}")
+        return engine._search.route_kbest(
+            query,
+            int(k),
+            time_limit_seconds=self.check_time_limit(time_limit_seconds),
+            heuristic=heuristic,
+        )
+
+
 @register_strategy("expected_time")
 class ExpectedTimeStrategy(RoutingStrategy):
     """Baseline: deterministic shortest path over average travel times."""
@@ -233,32 +336,108 @@ class BatchResult:
     """Answers to one :meth:`RoutingEngine.route_many` call.
 
     ``results`` preserves the input query order; ``stats`` aggregates every
-    member search (see :meth:`SearchStats.aggregate`).
+    member search (see :meth:`SearchStats.aggregate`).  A member is one of
+    three distinct outcomes, and the counters keep them apart — a batch
+    consumer must not read "no route exists" out of a query its strategy
+    simply never answered:
+
+    * a found answer (``result.found``) — counted by :attr:`num_found`;
+    * a definitive miss (``result is not None and not result.found``, e.g.
+      an unreachable target) — counted by :attr:`num_no_route`;
+    * ``None`` — the strategy declined to answer (typically its wall-clock
+      limit expired first) — counted by :attr:`num_unanswered`.
     """
 
-    results: tuple[RoutingResult, ...]
+    results: tuple[RoutingResult | MultiBudgetResult | KBestResult | None, ...]
     stats: SearchStats
 
     def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self) -> Iterator[RoutingResult]:
+    def __iter__(self) -> Iterator[StrategyAnswer]:
         return iter(self.results)
 
-    def __getitem__(self, index: int) -> RoutingResult:
+    def __getitem__(self, index: int) -> StrategyAnswer:
         return self.results[index]
 
     @property
     def num_found(self) -> int:
-        return sum(1 for result in self.results if result.found)
+        """Members with a route."""
+        return sum(
+            1 for result in self.results if result is not None and result.found
+        )
+
+    @property
+    def num_no_route(self) -> int:
+        """Members whose strategy answered definitively: no route exists."""
+        return sum(
+            1 for result in self.results if result is not None and not result.found
+        )
+
+    @property
+    def num_unanswered(self) -> int:
+        """Members whose strategy returned no answer (e.g. time limit)."""
+        return sum(1 for result in self.results if result is None)
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready representation of the whole batch."""
+        """JSON-ready representation of the whole batch.
+
+        Unanswered members serialise as ``null`` so the wire format keeps
+        the found / no-route / unanswered distinction intact.
+        """
         return {
-            "results": [result.to_dict() for result in self.results],
+            "results": [
+                None if result is None else result.to_dict()
+                for result in self.results
+            ],
             "stats": self.stats.to_dict(),
             "num_found": self.num_found,
+            "num_no_route": self.num_no_route,
+            "num_unanswered": self.num_unanswered,
         }
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery for route_many(workers=N)
+# ----------------------------------------------------------------------
+
+#: Per-process engine rebuilt by :func:`_worker_init`; lives for the pool's
+#: lifetime so every shard served by one worker shares heuristic/CDF caches.
+_WORKER_ENGINE: "RoutingEngine | None" = None
+
+
+def _worker_init(payload: bytes) -> None:
+    """Pool initializer: reconstruct the engine from its pickled spec."""
+    global _WORKER_ENGINE
+    network, combiner, pruning = pickle.loads(payload)
+    _WORKER_ENGINE = RoutingEngine(network, combiner, pruning=pruning)
+
+
+def _worker_route_shard(
+    task: tuple[
+        list[int], list[dict[str, int]], str, float | None, dict[str, Any]
+    ],
+) -> list[tuple[int, dict[str, Any] | None]]:
+    """Serve one target-grouped shard inside a pool worker.
+
+    Results travel back as ``to_dict`` documents (floats round-trip exactly
+    through pickle) and are re-materialised against the parent's network, so
+    parallel answers are identical to serial ones.
+    """
+    indices, query_dicts, strategy, time_limit_seconds, kwargs = task
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker engine was never initialised")
+    out: list[tuple[int, dict[str, Any] | None]] = []
+    for index, query_dict in zip(indices, query_dicts):
+        result = engine.route(
+            RoutingQuery.from_dict(query_dict),
+            strategy=strategy,
+            time_limit_seconds=time_limit_seconds,
+            **kwargs,
+        )
+        out.append((index, None if result is None else result.to_dict()))
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -349,16 +528,55 @@ class RoutingEngine:
         strategy: str = "pbr",
         time_limit_seconds: float | None = None,
         **kwargs: Any,
-    ) -> RoutingResult:
+    ) -> StrategyAnswer:
         """Answer one query under ``strategy``.
 
         ``time_limit_seconds`` bounds the wall clock for strategies that
         support it (``"pbr"`` optionally, ``"anytime"`` mandatorily);
-        strategy-specific options (e.g. the oracle's ``max_edges``) pass
-        through ``kwargs``.
+        strategy-specific options (e.g. the oracle's ``max_edges``, the
+        multi-budget vector ``budgets``, the k-best ``k``) pass through
+        ``kwargs``.  ``None`` means the strategy declined to answer — a
+        different outcome than a result with ``found == False``.
         """
         return self.strategy(strategy).route(
             self, query, time_limit_seconds=time_limit_seconds, **kwargs
+        )
+
+    def route_multi_budget(
+        self,
+        source: int,
+        target: int,
+        budgets: Iterable[int],
+        *,
+        time_limit_seconds: float | None = None,
+    ) -> MultiBudgetResult:
+        """Answer one source/target pair for a whole budget vector.
+
+        One label search serves every budget (the Pareto frontier work is
+        shared instead of re-run per budget); per-budget answers match
+        independent ``"pbr"`` runs.  ``budgets`` may arrive unsorted or with
+        duplicates — it is normalised exactly like a single
+        :attr:`RoutingQuery.budget`.
+        """
+        budget_vector = normalize_budgets(budgets)
+        query = RoutingQuery(source, target, budget_vector[-1])
+        return self.route(
+            query,
+            strategy="multi_budget",
+            budgets=budget_vector,
+            time_limit_seconds=time_limit_seconds,
+        )
+
+    def route_kbest(
+        self,
+        query: RoutingQuery,
+        k: int,
+        *,
+        time_limit_seconds: float | None = None,
+    ) -> KBestResult:
+        """The top-``k`` non-dominated routes for ``query``, best first."""
+        return self.route(
+            query, strategy="kbest", k=k, time_limit_seconds=time_limit_seconds
         )
 
     def route_many(
@@ -367,6 +585,7 @@ class RoutingEngine:
         *,
         strategy: str = "pbr",
         time_limit_seconds: float | None = None,
+        workers: int | None = None,
         **kwargs: Any,
     ) -> BatchResult:
         """Answer a batch of queries, amortising shared caches across them.
@@ -379,23 +598,116 @@ class RoutingEngine:
         strategy-specific ``kwargs`` (e.g. the oracle's ``max_edges``) apply
         to every member, exactly as in :meth:`route`.  An empty batch
         returns zero results and zeroed aggregate stats.
+
+        ``workers=N`` (N > 1) shards the batch across a ``multiprocessing``
+        pool: whole target groups are packed onto workers (largest group
+        first), so each reverse Dijkstra is built exactly once in exactly
+        one process, and each worker reconstructs the engine from a pickled
+        ``(network, combiner, pruning)`` spec.  Results are identical to the
+        serial path — answers travel back as wire documents and are
+        re-materialised against this engine's network — and ``stats`` sums
+        the per-shard searches.  Custom strategies must be registered at
+        import time to exist in spawned workers (forked workers inherit the
+        parent registry either way).
         """
         query_list = list(queries)
-        order = sorted(range(len(query_list)), key=lambda i: query_list[i].target)
-        routed = {
-            index: self.route(
-                query_list[index],
-                strategy=strategy,
-                time_limit_seconds=time_limit_seconds,
-                **kwargs,
+        if workers is not None:
+            if (
+                isinstance(workers, bool)
+                or not isinstance(workers, numbers.Integral)
+                or workers < 1
+            ):
+                raise ValueError(
+                    f"workers must be a positive integer, got {workers!r}"
+                )
+            workers = int(workers)
+        if workers is not None and workers > 1 and len(query_list) > 1:
+            results = self._route_many_parallel(
+                query_list, workers, strategy, time_limit_seconds, kwargs
             )
-            for index in order
-        }
-        results = tuple(routed[index] for index in range(len(query_list)))
+        else:
+            order = sorted(
+                range(len(query_list)), key=lambda i: query_list[i].target
+            )
+            routed = {
+                index: self.route(
+                    query_list[index],
+                    strategy=strategy,
+                    time_limit_seconds=time_limit_seconds,
+                    **kwargs,
+                )
+                for index in order
+            }
+            results = tuple(routed[index] for index in range(len(query_list)))
         return BatchResult(
             results=results,
-            stats=SearchStats.aggregate(result.stats for result in results),
+            stats=SearchStats.aggregate(
+                result.stats for result in results if result is not None
+            ),
         )
+
+    def _route_many_parallel(
+        self,
+        query_list: list[RoutingQuery],
+        workers: int,
+        strategy: str,
+        time_limit_seconds: float | None,
+        kwargs: dict[str, Any],
+    ) -> tuple[StrategyAnswer, ...]:
+        """Shard ``query_list`` by target across a worker pool.
+
+        Shards never split a target group, preserving the heuristic-reuse
+        guarantee per shard; groups are packed largest-first onto the least
+        loaded shard so worker wall-clocks stay balanced.
+        """
+        groups: dict[int, list[int]] = {}
+        for index, query in enumerate(query_list):
+            groups.setdefault(query.target, []).append(index)
+        num_shards = min(workers, len(groups))
+        if num_shards < 2:
+            # A single shard cannot parallelise anything; the pool would
+            # only add spawn + pickle + wire-format overhead.
+            return tuple(
+                self.route(
+                    query,
+                    strategy=strategy,
+                    time_limit_seconds=time_limit_seconds,
+                    **kwargs,
+                )
+                for query in query_list
+            )
+        shards: list[list[int]] = [[] for _ in range(num_shards)]
+        loads = [0] * num_shards
+        for _, indices in sorted(
+            groups.items(), key=lambda item: (-len(item[1]), item[0])
+        ):
+            lightest = loads.index(min(loads))
+            shards[lightest].extend(indices)
+            loads[lightest] += len(indices)
+        tasks = [
+            (
+                shard,
+                [query_list[i].to_dict() for i in shard],
+                strategy,
+                time_limit_seconds,
+                kwargs,
+            )
+            for shard in shards
+        ]
+        spec = pickle.dumps(
+            (self.network, self.combiner, self.pruning),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        results: list[StrategyAnswer] = [None] * len(query_list)
+        context = multiprocessing.get_context()
+        with context.Pool(
+            processes=num_shards, initializer=_worker_init, initargs=(spec,)
+        ) as pool:
+            for shard_answers in pool.map(_worker_route_shard, tasks):
+                for index, document in shard_answers:
+                    if document is not None:
+                        results[index] = result_from_dict(document, self.network)
+        return tuple(results)
 
     def route_stream(
         self,
@@ -436,6 +748,13 @@ class RoutingEngine:
     # Serialisation convenience
     # ------------------------------------------------------------------
 
-    def result_from_dict(self, data: Mapping[str, Any]) -> RoutingResult:
-        """Rebuild a serialised result against this engine's network."""
-        return RoutingResult.from_dict(data, self.network)
+    def result_from_dict(
+        self, data: Mapping[str, Any]
+    ) -> RoutingResult | MultiBudgetResult | KBestResult:
+        """Rebuild any serialised answer against this engine's network.
+
+        Dispatches on the payload's ``kind`` tag (``"route"`` /
+        ``"multi_budget"`` / ``"kbest"``; untagged payloads are plain
+        results).
+        """
+        return result_from_dict(data, self.network)

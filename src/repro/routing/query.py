@@ -3,8 +3,12 @@
 Everything a routing service exchanges with callers lives here: the
 immutable :class:`RoutingQuery` (with explicit seconds-to-ticks conversion
 through :meth:`RoutingQuery.from_seconds`), the :class:`SearchStats`
-observability counters, and the :class:`RoutingResult` answer.  All three
-are JSON-serialisable via ``to_dict`` / ``from_dict`` so
+observability counters, and the answer types — :class:`RoutingResult` for
+one query, :class:`MultiBudgetResult` for one source/target pair answered
+over a whole budget vector, and :class:`KBestResult` for the top-k
+non-dominated routes.  All are JSON-serialisable via ``to_dict`` /
+``from_dict`` (each payload carries a ``kind`` tag;
+:func:`result_from_dict` dispatches on it) so
 :class:`~repro.routing.engine.RoutingEngine` responses are wire-ready.
 """
 
@@ -13,12 +17,21 @@ from __future__ import annotations
 import math
 import numbers
 from dataclasses import dataclass, field, fields
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 from ..histograms import DiscreteDistribution
 from ..network import Edge, RoadNetwork
 
-__all__ = ["MAX_BUDGET_TICKS", "RoutingQuery", "SearchStats", "RoutingResult"]
+__all__ = [
+    "MAX_BUDGET_TICKS",
+    "RoutingQuery",
+    "SearchStats",
+    "RoutingResult",
+    "MultiBudgetResult",
+    "KBestResult",
+    "normalize_budgets",
+    "result_from_dict",
+]
 
 #: Upper bound on a query budget in grid ticks.  Distribution CDF reads clamp
 #: to probability 1 beyond the support, so a budget of, say, ``3.6e9`` (a
@@ -134,6 +147,28 @@ class RoutingQuery:
         )
 
 
+def normalize_budgets(budgets: Iterable[Any]) -> tuple[int, ...]:
+    """Validate a budget vector into an ascending, de-duplicated tick tuple.
+
+    Every member passes the same integer/grid validation as
+    :attr:`RoutingQuery.budget`; duplicates are collapsed because a
+    multi-budget search answers each distinct budget exactly once.
+    """
+    values = [_as_grid_int(value, "budget") for value in budgets]
+    if not values:
+        raise ValueError("budgets must contain at least one tick budget")
+    for value in values:
+        if value < 1:
+            raise ValueError("every budget must be >= 1 tick")
+        if value > MAX_BUDGET_TICKS:
+            raise ValueError(
+                f"budget of {value} ticks exceeds the distribution grid bound "
+                f"({MAX_BUDGET_TICKS}); see RoutingQuery.from_seconds for "
+                "unit-aware construction"
+            )
+    return tuple(sorted(set(values)))
+
+
 @dataclass
 class SearchStats:
     """Observability counters for one PBR search (or one aggregated batch)."""
@@ -219,6 +254,7 @@ class RoutingResult:
         distribution serialises as ``{offset, probs}``.
         """
         return {
+            "kind": "route",
             "query": self.query.to_dict(),
             "path": [edge.id for edge in self.path],
             "path_vertices": self.path_vertices(),
@@ -255,3 +291,155 @@ class RoutingResult:
             probability=float(data["probability"]),
             stats=SearchStats.from_dict(data.get("stats", {})),
         )
+
+
+@dataclass(frozen=True)
+class MultiBudgetResult:
+    """One source/target pair answered for a whole budget vector.
+
+    A single label search produces every entry: ``results[i]`` is the best
+    route for ``budgets[i]`` (its member query carries that budget), and the
+    Pareto frontier work is shared across the vector instead of re-run per
+    budget.  ``stats`` describes the one shared search; member results carry
+    empty per-route stats.
+    """
+
+    query: RoutingQuery
+    budgets: tuple[int, ...]
+    results: tuple[RoutingResult, ...]
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __post_init__(self) -> None:
+        if len(self.budgets) != len(self.results):
+            raise ValueError("budgets and results must align one-to-one")
+        if any(b <= a for a, b in zip(self.budgets, self.budgets[1:])):
+            raise ValueError("budgets must be strictly ascending")
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[RoutingResult]:
+        return iter(self.results)
+
+    @property
+    def found(self) -> bool:
+        """True when at least one budget has a route."""
+        return any(result.found for result in self.results)
+
+    @property
+    def probabilities(self) -> tuple[float, ...]:
+        """Per-budget arrival probabilities, aligned with ``budgets``."""
+        return tuple(result.probability for result in self.results)
+
+    def items(self) -> Iterator[tuple[int, RoutingResult]]:
+        """``(budget, result)`` pairs in ascending budget order."""
+        return zip(self.budgets, self.results)
+
+    def best_for(self, budget: int) -> RoutingResult:
+        """The answer for one exact member budget (KeyError otherwise)."""
+        for b, result in zip(self.budgets, self.results):
+            if b == budget:
+                return result
+        raise KeyError(f"budget {budget} is not part of this result's vector")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (see :func:`result_from_dict`)."""
+        return {
+            "kind": "multi_budget",
+            "query": self.query.to_dict(),
+            "budgets": list(self.budgets),
+            "results": [result.to_dict() for result in self.results],
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], network: RoadNetwork
+    ) -> "MultiBudgetResult":
+        return cls(
+            query=RoutingQuery.from_dict(data["query"]),
+            budgets=tuple(int(b) for b in data["budgets"]),
+            results=tuple(
+                RoutingResult.from_dict(item, network) for item in data["results"]
+            ),
+            stats=SearchStats.from_dict(data.get("stats", {})),
+        )
+
+
+@dataclass(frozen=True)
+class KBestResult:
+    """The top-k non-dominated routes at the target, best first.
+
+    ``routes`` holds up to ``k`` complete routes whose arrival distributions
+    form an antichain under weak stochastic dominance, ordered by descending
+    ``P(cost <= budget)``.  Fewer than ``k`` entries means the target's
+    frontier is genuinely smaller.  ``stats`` describes the one shared
+    search; member results carry empty per-route stats.
+    """
+
+    query: RoutingQuery
+    k: int
+    routes: tuple[RoutingResult, ...]
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if len(self.routes) > self.k:
+            raise ValueError("a k-best answer cannot hold more than k routes")
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+    def __iter__(self) -> Iterator[RoutingResult]:
+        return iter(self.routes)
+
+    @property
+    def found(self) -> bool:
+        return bool(self.routes) and self.routes[0].found
+
+    @property
+    def best(self) -> RoutingResult | None:
+        """The argmax route (what a plain ``pbr`` query would return)."""
+        return self.routes[0] if self.routes else None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (see :func:`result_from_dict`)."""
+        return {
+            "kind": "kbest",
+            "query": self.query.to_dict(),
+            "k": self.k,
+            "routes": [route.to_dict() for route in self.routes],
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], network: RoadNetwork
+    ) -> "KBestResult":
+        return cls(
+            query=RoutingQuery.from_dict(data["query"]),
+            k=int(data["k"]),
+            routes=tuple(
+                RoutingResult.from_dict(item, network) for item in data["routes"]
+            ),
+            stats=SearchStats.from_dict(data.get("stats", {})),
+        )
+
+
+def result_from_dict(
+    data: Mapping[str, Any], network: RoadNetwork
+) -> "RoutingResult | MultiBudgetResult | KBestResult":
+    """Rebuild any serialised routing answer by its ``kind`` tag.
+
+    Payloads without a tag are treated as plain :class:`RoutingResult`
+    documents (the pre-tag wire format).
+    """
+    kind = data.get("kind", "route")
+    if kind == "multi_budget":
+        return MultiBudgetResult.from_dict(data, network)
+    if kind == "kbest":
+        return KBestResult.from_dict(data, network)
+    if kind == "route":
+        return RoutingResult.from_dict(data, network)
+    raise ValueError(f"unknown routing result kind {kind!r}")

@@ -1,0 +1,18 @@
+"""Tier-1 suite configuration: a deterministic seed policy.
+
+Property-based tests run under a derandomized hypothesis profile by
+default, so a red CI run is reproducible locally byte for byte and plugins
+that shuffle seeds (pytest-randomly is additionally disabled via
+``-p no:randomly`` in the root ``pytest.ini``) cannot make the tier-1
+verdict flap.  Opt back into randomized exploration locally with::
+
+    HYPOTHESIS_PROFILE=explore PYTHONPATH=src python -m pytest
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("deterministic", derandomize=True, deadline=None)
+settings.register_profile("explore", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "deterministic"))

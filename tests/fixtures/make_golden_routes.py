@@ -1,0 +1,173 @@
+"""Regenerate the golden-route fixtures.
+
+The golden layer pins the *answers* of the routing engine on a small
+deterministic world so that any behavioural drift in the search — pruning,
+dominance, convolution, tie-breaking — fails loudly in
+``tests/routing/test_golden_routes.py``.
+
+Two files are produced next to this script:
+
+* ``golden_world.json`` — the network (``network_to_dict`` format), the
+  grid resolution and every edge's cost distribution.  The test rebuilds
+  the world from this file, **not** from the generators, so the goldens
+  only move when routing behaviour moves.
+* ``golden_routes.json`` — expected answers: single-budget ``pbr`` routes,
+  multi-budget vectors (verified at generation time to match per-budget
+  ``pbr`` runs, route and probability), and k-best frontiers.
+
+Update procedure (only after an intentional behaviour change, with the
+diff reviewed route by route)::
+
+    PYTHONPATH=src python tests/fixtures/make_golden_routes.py
+
+The script is deterministic: seeded generators, no time or randomness
+outside the fixed seeds.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core import ConvolutionModel, EdgeCostTable
+from repro.network import grid_network
+from repro.network.io import network_to_dict
+from repro.routing import RoutingEngine, RoutingQuery
+from repro.trajectories import CongestionModel
+
+FIXTURE_DIR = Path(__file__).resolve().parent
+
+#: Single-budget golden queries: (source, target, budget ticks).
+PBR_CASES = [
+    (0, 24, 40),
+    (0, 24, 20),
+    (0, 6, 30),
+    (5, 3, 35),
+    (20, 4, 50),
+    (2, 22, 38),
+    (12, 0, 45),
+    (24, 0, 55),
+]
+
+#: Multi-budget golden cases: (source, target, budget vector).
+MULTI_BUDGET_CASES = [
+    (0, 24, (20, 30, 40, 55)),
+    (2, 22, (25, 32, 38, 44, 60)),
+    (20, 4, (35, 50, 65)),
+]
+
+#: K-best golden cases: (source, target, budget, k).
+KBEST_CASES = [
+    (2, 22, 38, 3),
+    (0, 24, 40, 3),
+    (12, 0, 45, 2),
+]
+
+
+def build_world():
+    network = grid_network(5, 5, seed=2)
+    traffic = CongestionModel(network, seed=3)
+    costs = EdgeCostTable(network, resolution=5.0)
+    for edge in network.edges:
+        costs.set_cost(edge.id, traffic.edge_marginal(edge))
+    return network, costs
+
+
+def serialise_world(network, costs) -> dict:
+    return {
+        "network": network_to_dict(network),
+        "resolution": costs.resolution,
+        "costs": {
+            str(edge.id): {
+                "offset": costs.cost(edge).offset,
+                "probs": [float(p) for p in costs.cost(edge).probs],
+            }
+            for edge in network.edges
+        },
+    }
+
+
+def route_payload(result) -> dict:
+    return {
+        "path": [edge.id for edge in result.path],
+        "probability": float(result.probability),
+        "found": result.found,
+    }
+
+
+def main() -> None:
+    network, costs = build_world()
+    engine = RoutingEngine(network, ConvolutionModel(costs))
+
+    pbr = []
+    for source, target, budget in PBR_CASES:
+        result = engine.route(RoutingQuery(source, target, budget))
+        pbr.append(
+            {
+                "query": {"source": source, "target": target, "budget": budget},
+                **route_payload(result),
+            }
+        )
+
+    multi = []
+    for source, target, budgets in MULTI_BUDGET_CASES:
+        answer = engine.route_multi_budget(source, target, budgets)
+        per_budget = []
+        for budget, member in answer.items():
+            reference = engine.route(RoutingQuery(source, target, budget))
+            # The acceptance contract: a multi-budget member must be
+            # identical to an independent per-budget pbr run.  Refuse to
+            # write fixtures that do not satisfy it.
+            if [e.id for e in member.path] != [e.id for e in reference.path]:
+                raise AssertionError(
+                    f"multi-budget route diverged from pbr for "
+                    f"{source}->{target} @ {budget}"
+                )
+            if abs(member.probability - reference.probability) > 1e-9:
+                raise AssertionError(
+                    f"multi-budget probability diverged from pbr for "
+                    f"{source}->{target} @ {budget}"
+                )
+            per_budget.append({"budget": budget, **route_payload(member)})
+        multi.append(
+            {
+                "source": source,
+                "target": target,
+                "budgets": list(budgets),
+                "results": per_budget,
+            }
+        )
+
+    kbest = []
+    for source, target, budget, k in KBEST_CASES:
+        answer = engine.route_kbest(RoutingQuery(source, target, budget), k)
+        kbest.append(
+            {
+                "query": {"source": source, "target": target, "budget": budget},
+                "k": k,
+                "routes": [route_payload(route) for route in answer.routes],
+            }
+        )
+
+    (FIXTURE_DIR / "golden_world.json").write_text(
+        json.dumps(serialise_world(network, costs), indent=1) + "\n"
+    )
+    (FIXTURE_DIR / "golden_routes.json").write_text(
+        json.dumps(
+            {
+                "comment": "Regenerate with tests/fixtures/make_golden_routes.py "
+                "(see its docstring); never edit by hand.",
+                "pbr": pbr,
+                "multi_budget": multi,
+                "kbest": kbest,
+            },
+            indent=1,
+        )
+        + "\n"
+    )
+    print(
+        f"wrote {len(pbr)} pbr, {len(multi)} multi-budget, "
+        f"{len(kbest)} k-best golden cases"
+    )
+
+
+if __name__ == "__main__":
+    main()

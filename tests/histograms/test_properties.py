@@ -107,9 +107,39 @@ def test_shift_down_dominates(d, k):
 
 
 @given(distributions(), distributions())
+def test_convolution_conserves_mass(a, b):
+    """Convolution must neither create nor destroy probability mass."""
+    assert abs(a.convolve(b).probs.sum() - 1.0) < 1e-9
+
+
+@given(distributions(), distributions())
 def test_dominance_antisymmetry(a, b):
     if dominates(a, b):
         assert not dominates(b, a)
+
+
+@given(distributions(), distributions(), distributions())
+def test_weak_dominance_transitive(a, b, c):
+    """``a >= b`` and ``b >= c`` chain to ``a >= c`` (up to composed tol).
+
+    Each weak-dominance check admits a 1e-12 CDF slack, so the chained
+    conclusion is asserted directly on the aligned CDFs with the composed
+    tolerance rather than through ``weakly_dominates`` (whose single-slack
+    check could be a rounding error stricter than what two hops guarantee).
+    """
+    if weakly_dominates(a, b) and weakly_dominates(b, c):
+        _, pa, qc = a.aligned_with(c)
+        assert np.all(np.cumsum(pa) >= np.cumsum(qc) - 3e-12)
+
+
+@given(distributions(), distributions())
+def test_weak_dominance_implies_budget_probability_order(a, b):
+    """Dominance is exactly "at least as likely under every deadline"."""
+    if weakly_dominates(a, b):
+        for t in range(
+            min(a.min_value, b.min_value) - 1, max(a.max_value, b.max_value) + 2
+        ):
+            assert a.prob_within(t) >= b.prob_within(t) - 1e-9
 
 
 @settings(max_examples=40)

@@ -338,6 +338,251 @@ class TestSerialisation:
         assert total.completed
 
 
+class TestMultiBudgetStrategy:
+    def test_members_match_independent_pbr_runs(self, engine):
+        budgets = (20, 30, 40, 55)
+        answer = engine.route_multi_budget(0, 24, budgets)
+        assert answer.budgets == budgets
+        for budget, member in answer.items():
+            reference = engine.route(RoutingQuery(0, 24, budget))
+            assert member.path == reference.path
+            assert member.probability == pytest.approx(
+                reference.probability, abs=1e-9
+            )
+            assert member.query.budget == budget
+
+    def test_single_search_beats_b_independent_runs(self, engine):
+        budgets = (20, 30, 40, 55)
+        answer = engine.route_multi_budget(0, 24, budgets)
+        independent = sum(
+            engine.route(RoutingQuery(0, 24, b)).stats.labels_generated
+            for b in budgets
+        )
+        assert answer.stats.labels_generated < independent
+
+    def test_budgets_normalised(self, engine):
+        answer = engine.route_multi_budget(0, 24, [40, 20, 40, 30])
+        assert answer.budgets == (20, 30, 40)
+
+    def test_probabilities_monotone(self, engine):
+        probs = engine.route_multi_budget(0, 24, range(20, 60, 5)).probabilities
+        assert all(b >= a - 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_requires_budgets_kwarg(self, engine):
+        with pytest.raises(ValueError, match="budgets"):
+            engine.route(RoutingQuery(0, 24, 40), strategy="multi_budget")
+
+    def test_query_budget_must_be_vector_max(self, engine):
+        with pytest.raises(ValueError, match="max"):
+            engine.route(
+                RoutingQuery(0, 24, 40), strategy="multi_budget", budgets=[20, 30]
+            )
+
+    @pytest.mark.parametrize("bad", [[], [0], [10.5], [-3]])
+    def test_bad_budget_vectors_rejected(self, engine, bad):
+        with pytest.raises((ValueError, TypeError)):
+            engine.route_multi_budget(0, 24, bad)
+
+    def test_unreachable_target_all_budgets_empty(self, island_world):
+        answer = island_world.route_multi_budget(0, 2, [5, 10])
+        assert not answer.found
+        assert all(not member.found for member in answer)
+        assert answer.probabilities == (0.0, 0.0)
+
+    def test_best_for_unknown_budget_raises(self, engine):
+        answer = engine.route_multi_budget(0, 24, [20, 40])
+        with pytest.raises(KeyError):
+            answer.best_for(30)
+
+    def test_round_trip_via_kind_dispatch(self, engine):
+        answer = engine.route_multi_budget(0, 24, [20, 40])
+        payload = json.loads(json.dumps(answer.to_dict()))
+        assert payload["kind"] == "multi_budget"
+        restored = engine.result_from_dict(payload)
+        assert restored.budgets == answer.budgets
+        assert restored.probabilities == answer.probabilities
+        assert [m.path for m in restored] == [m.path for m in answer]
+
+
+class TestKBestStrategy:
+    def test_head_matches_pbr(self, engine):
+        query = RoutingQuery(0, 24, 40)
+        answer = engine.route_kbest(query, 3)
+        assert answer.best.probability == pytest.approx(
+            engine.route(query).probability, abs=1e-9
+        )
+
+    def test_returns_ranked_distinct_routes(self, engine):
+        answer = engine.route_kbest(RoutingQuery(2, 22, 38), 3)
+        assert 1 <= len(answer.routes) <= 3
+        probs = [route.probability for route in answer.routes]
+        assert probs == sorted(probs, reverse=True)
+        paths = [tuple(e.id for e in route.path) for route in answer.routes]
+        assert len(set(paths)) == len(paths)
+
+    def test_requires_k_kwarg(self, engine):
+        with pytest.raises(ValueError, match="k"):
+            engine.route(RoutingQuery(0, 24, 40), strategy="kbest")
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_bad_k_rejected(self, engine, bad):
+        with pytest.raises(ValueError):
+            engine.route_kbest(RoutingQuery(0, 24, 40), bad)
+
+    def test_unreachable_target_no_routes(self, island_world):
+        answer = island_world.route_kbest(RoutingQuery(0, 2, 10), 2)
+        assert not answer.found
+        assert answer.routes == ()
+
+    def test_round_trip_via_kind_dispatch(self, engine):
+        answer = engine.route_kbest(RoutingQuery(2, 22, 38), 3)
+        payload = json.loads(json.dumps(answer.to_dict()))
+        assert payload["kind"] == "kbest"
+        restored = engine.result_from_dict(payload)
+        assert restored.k == answer.k
+        assert [r.path for r in restored] == [r.path for r in answer]
+
+
+class TestRouteManyWorkers:
+    """The multiprocessing path must be a pure accelerator: same answers."""
+
+    BATCH = [
+        (0, 24, 40),
+        (5, 3, 35),
+        (1, 24, 45),
+        (20, 4, 50),
+        (2, 22, 38),
+        (6, 24, 42),
+    ]
+
+    def _queries(self):
+        return [RoutingQuery(s, t, b) for s, t, b in self.BATCH]
+
+    def test_workers_matches_serial_exactly(self, engine):
+        serial = engine.route_many(self._queries())
+        parallel = engine.route_many(self._queries(), workers=2)
+        assert len(parallel) == len(serial)
+        for mine, reference in zip(parallel, serial):
+            assert mine.path == reference.path
+            assert mine.probability == reference.probability
+        assert parallel.stats.labels_generated == serial.stats.labels_generated
+        assert parallel.stats.completed
+
+    def test_workers_beyond_target_groups_are_capped(self, engine):
+        # 6 queries over 4 distinct targets: a 16-worker request must not
+        # split a target group (or crash on empty shards).
+        parallel = engine.route_many(self._queries(), workers=16)
+        serial = engine.route_many(self._queries())
+        assert [r.path for r in parallel] == [r.path for r in serial]
+
+    def test_workers_with_strategy_kwargs(self, engine):
+        queries = [RoutingQuery(0, 24, 40), RoutingQuery(1, 24, 40)]
+        parallel = engine.route_many(
+            queries, strategy="multi_budget", budgets=[20, 40], workers=2
+        )
+        for query, answer in zip(queries, parallel):
+            reference = engine.route(
+                query, strategy="multi_budget", budgets=[20, 40]
+            )
+            assert answer.budgets == reference.budgets
+            assert [m.path for m in answer] == [m.path for m in reference]
+            assert answer.probabilities == reference.probabilities
+
+    @pytest.mark.parametrize("bad", [0, -2, 1.5, True])
+    def test_bad_workers_rejected(self, engine, bad):
+        with pytest.raises(ValueError, match="workers"):
+            engine.route_many([RoutingQuery(0, 24, 40)], workers=bad)
+
+    def test_single_query_batch_stays_serial(self, engine):
+        batch = engine.route_many([RoutingQuery(0, 24, 40)], workers=4)
+        assert batch[0].path == engine.route(RoutingQuery(0, 24, 40)).path
+
+    def test_single_target_batch_skips_the_pool(self, engine, monkeypatch):
+        # One target group = one shard = nothing to parallelise: the pool
+        # (spawn + pickle overhead) must not be paid.
+        import multiprocessing
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be called
+            raise AssertionError("a single-shard batch must not build a pool")
+
+        monkeypatch.setattr(
+            type(multiprocessing.get_context()), "Pool", boom, raising=True
+        )
+        queries = [RoutingQuery(s, 24, 40 + s) for s in (0, 1, 2, 3)]
+        batch = engine.route_many(queries, workers=4)
+        serial = engine.route_many(queries)
+        assert [r.path for r in batch] == [r.path for r in serial]
+
+    def test_workers_one_is_the_serial_path(self, engine):
+        batch = engine.route_many(self._queries(), workers=1)
+        serial = engine.route_many(self._queries())
+        assert [r.path for r in batch] == [r.path for r in serial]
+
+
+class TestBatchOutcomeAccounting:
+    """found / no-route / unanswered are three distinct batch outcomes."""
+
+    def test_unreachable_member_is_no_route_not_unanswered(self, island_world):
+        batch = island_world.route_many(
+            [RoutingQuery(0, 1, 10), RoutingQuery(0, 2, 10)]
+        )
+        assert batch.num_found == 1
+        assert batch.num_no_route == 1
+        assert batch.num_unanswered == 0
+        payload = batch.to_dict()
+        assert payload["num_no_route"] == 1
+        assert payload["num_unanswered"] == 0
+        assert payload["results"][1]["found"] is False
+
+    def test_declining_strategy_is_unanswered_not_no_route(self, engine):
+        @register_strategy("gives_up")
+        class GivesUp(RoutingStrategy):
+            """Times out before producing anything: returns None."""
+
+            def route(self, eng, query, *, time_limit_seconds=None):
+                return None
+
+        try:
+            batch = engine.route_many(
+                [RoutingQuery(0, 24, 40), RoutingQuery(5, 3, 35)],
+                strategy="gives_up",
+            )
+            assert batch.num_unanswered == 2
+            assert batch.num_found == 0
+            assert batch.num_no_route == 0
+            assert list(batch) == [None, None]
+            payload = json.loads(json.dumps(batch.to_dict()))
+            assert payload["results"] == [None, None]
+            assert payload["num_unanswered"] == 2
+            # Aggregated stats must skip unanswered members, not crash.
+            assert batch.stats.labels_generated == 0
+        finally:
+            engine_module._STRATEGIES.pop("gives_up", None)
+
+    def test_mixed_batch_counts_every_outcome_once(self, island_world):
+        @register_strategy("gives_up_on_reachable")
+        class GivesUpOnReachable(RoutingStrategy):
+            def route(self, eng, query, *, time_limit_seconds=None):
+                if query.target == 1:
+                    return None
+                return eng.route(query, strategy="pbr")
+
+        try:
+            batch = island_world.route_many(
+                [RoutingQuery(0, 1, 10), RoutingQuery(0, 2, 10)],
+                strategy="gives_up_on_reachable",
+            )
+            assert batch.num_unanswered == 1
+            assert batch.num_no_route == 1
+            assert batch.num_found == 0
+            assert (
+                batch.num_found + batch.num_no_route + batch.num_unanswered
+                == len(batch)
+            )
+        finally:
+            engine_module._STRATEGIES.pop("gives_up_on_reachable", None)
+
+
 class TestEngineCaching:
     def test_heuristic_shared_across_strategies_and_batches(self, engine):
         first = engine.heuristic_for(24)

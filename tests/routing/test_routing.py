@@ -7,9 +7,7 @@ from repro.core import ConvolutionModel, EdgeCostTable
 from repro.histograms import DiscreteDistribution
 from repro.network import diamond_network, grid_network
 from repro.routing import (
-    AnytimeRouter,
     OptimisticHeuristic,
-    ProbabilisticBudgetRouter,
     PruningConfig,
     RoutingEngine,
     RoutingQuery,
@@ -234,43 +232,27 @@ class TestAnytime:
             )
 
 
-class TestDeprecatedShims:
-    """The legacy constructors still work but steer callers to the engine."""
+class TestLegacyRoutersRemoved:
+    """The deprecated direct-construction routers are gone for good."""
 
-    def test_budget_router_warns_and_matches_engine(self, world, engine):
-        net, conv = world
-        query = RoutingQuery(0, 24, 40)
-        with pytest.warns(DeprecationWarning, match="RoutingEngine"):
-            router = ProbabilisticBudgetRouter(net, conv)
-        legacy = router.route(query)
-        modern = engine.route(query)
-        assert legacy.path == modern.path
-        assert legacy.probability == pytest.approx(modern.probability)
+    def test_shims_are_not_importable(self):
+        import repro.routing as routing
 
-    def test_anytime_router_warns_and_matches_engine(self, world, engine):
-        net, conv = world
-        query = RoutingQuery(0, 24, 40)
-        with pytest.warns(DeprecationWarning, match="route_stream"):
-            router = AnytimeRouter(net, conv)
-        legacy = router.route_unbounded(query)
-        modern = engine.route(query)
-        assert legacy.path == modern.path
-        assert legacy.probability == pytest.approx(modern.probability)
+        assert not hasattr(routing, "ProbabilisticBudgetRouter")
+        assert not hasattr(routing, "AnytimeRouter")
 
-    def test_anytime_router_quality_curve_still_works(self, world):
-        net, conv = world
-        with pytest.warns(DeprecationWarning):
-            router = AnytimeRouter(net, conv)
-        points = router.quality_curve(RoutingQuery(0, 24, 40), [0.2, 0.001, 0.05])
-        assert [p.time_limit_seconds for p in points] == [0.001, 0.05, 0.2]
+    def test_anytime_point_summarises_stream(self, engine):
+        from repro.routing import AnytimePoint
+
+        limits = [0.001, 0.05, 0.2]
+        points = [
+            AnytimePoint.from_result(limit, result)
+            for limit, result in zip(
+                limits, engine.route_stream(RoutingQuery(0, 24, 40), limits)
+            )
+        ]
+        assert [p.time_limit_seconds for p in points] == limits
         assert points[-1].completed
-
-    def test_anytime_router_bad_limit_raises(self, world):
-        net, conv = world
-        with pytest.warns(DeprecationWarning):
-            router = AnytimeRouter(net, conv)
-        with pytest.raises(ValueError):
-            router.route(RoutingQuery(0, 1, 10), 0.0)
 
 
 class TestBaselines:
