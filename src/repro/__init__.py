@@ -17,6 +17,8 @@ Subpackages
     Probabilistic budget routing with pruning and the anytime extension.
 ``repro.experiments``
     Workloads and experiments regenerating every table in the paper.
+``repro.service``
+    Serving layer: versioned result cache, live cost updates, time slices.
 """
 
 __version__ = "1.0.0"
@@ -28,5 +30,6 @@ __all__ = [
     "ml",
     "network",
     "routing",
+    "service",
     "trajectories",
 ]

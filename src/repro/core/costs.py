@@ -8,6 +8,9 @@ routes over the full network, not just the observed edges).
 
 from __future__ import annotations
 
+import numbers
+from typing import Mapping
+
 from ..histograms import DiscreteDistribution
 from ..network import Edge, RoadNetwork
 from ..trajectories import TrajectoryStore
@@ -54,11 +57,65 @@ class EdgeCostTable:
             table.set_cost(edge_id, store.edge_histogram(edge_id))
         return table
 
+    def _check_edge_id(self, edge_id: int) -> None:
+        """Reject unknown edge ids (numpy integers are fine).
+
+        ``network.edge`` indexes a list, so a bare call would *accept*
+        negative ids (Python indexing wraps them onto real edges) and a
+        feed typo would silently install histograms under keys routing
+        never reads.
+        """
+        if (
+            isinstance(edge_id, bool)
+            or not isinstance(edge_id, numbers.Integral)
+            or edge_id < 0
+        ):
+            raise IndexError(f"unknown edge id {edge_id!r}")
+        self.network.edge(int(edge_id))  # raises IndexError beyond the edge list
+
     def set_cost(self, edge_id: int, distribution: DiscreteDistribution) -> None:
         """Install or overwrite one edge's histogram."""
-        self.network.edge(edge_id)  # raises IndexError for unknown edges
+        self._check_edge_id(edge_id)
         self._table[edge_id] = distribution
         self.version += 1
+
+    def apply_deltas(self, updates: Mapping[int, DiscreteDistribution]) -> int:
+        """Install a batch of edge histograms under a *single* version bump.
+
+        This is the hot-swap entry point for live cost feeds (see
+        :mod:`repro.service`): consumers that memoise derived state key on
+        :attr:`version`, so one bump per feed batch invalidates them exactly
+        once instead of once per edge.  The batch is validated up front and
+        applied atomically from the caller's perspective — either every edge
+        in ``updates`` is installed and the version moves by one, or the
+        table is untouched (unknown edges / non-distribution values raise
+        before anything is written).  Returns the new version.
+        """
+        if not updates:
+            raise ValueError("apply_deltas requires at least one edge update")
+        for edge_id, distribution in updates.items():
+            self._check_edge_id(edge_id)
+            if not isinstance(distribution, DiscreteDistribution):
+                raise TypeError(
+                    f"edge {edge_id}: cost update must be a "
+                    f"DiscreteDistribution, got {type(distribution).__name__}"
+                )
+        self._table.update(updates)
+        self.version += 1
+        return self.version
+
+    def copy(self) -> "EdgeCostTable":
+        """An independent table with the same observed histograms.
+
+        Distributions are immutable and therefore shared; the copy starts
+        its own mutation version (and free-flow memo), so edits to either
+        table never touch the other's consumers or cache keys.  This is the
+        building block for hot-swap comparisons — serve on one table,
+        verify against a cold copy with the same deltas applied.
+        """
+        clone = EdgeCostTable(self.network, resolution=self.resolution)
+        clone._table = dict(self._table)
+        return clone
 
     def has_observed_cost(self, edge_id: int) -> bool:
         """True when the edge has a corpus-derived histogram."""

@@ -14,9 +14,12 @@ from .tables import format_percent, format_seconds, render_table
 from .throughput import (
     BudgetSweepRow,
     BudgetSweepTable,
+    CachedServingRow,
+    CachedServingTable,
     ThroughputRow,
     ThroughputTable,
     run_budget_sweep_experiment,
+    run_cached_serving_experiment,
     run_throughput_experiment,
 )
 from .workloads import BandedQuery, WorkloadGenerator
@@ -25,6 +28,8 @@ __all__ = [
     "BandedQuery",
     "BudgetSweepRow",
     "BudgetSweepTable",
+    "CachedServingRow",
+    "CachedServingTable",
     "DependenceResult",
     "DistanceBand",
     "EfficiencyRow",
@@ -46,6 +51,7 @@ __all__ = [
     "get_runner",
     "render_table",
     "run_budget_sweep_experiment",
+    "run_cached_serving_experiment",
     "run_dependence_experiment",
     "run_efficiency_experiment",
     "run_quality_experiment",

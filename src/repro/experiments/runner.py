@@ -25,8 +25,10 @@ from .model_eval import ModelEvaluation, evaluate_model
 from .quality import QualityTable, run_quality_experiment
 from .throughput import (
     BudgetSweepTable,
+    CachedServingTable,
     ThroughputTable,
     run_budget_sweep_experiment,
+    run_cached_serving_experiment,
     run_throughput_experiment,
 )
 from .workloads import BandedQuery, WorkloadGenerator
@@ -188,6 +190,15 @@ class ReproductionRunner:
         engine = self.engine(model)
         return run_budget_sweep_experiment(
             self.network, engine.combiner, self.workload, factors=factors, engine=engine
+        )
+
+    def run_cached_serving(
+        self, *, passes: int = 3, model: str = "convolution"
+    ) -> CachedServingTable:
+        """Repeated-OD serving through the result-cached RoutingService."""
+        engine = self.engine(model)
+        return run_cached_serving_experiment(
+            self.network, engine.combiner, self.workload, passes=passes, engine=engine
         )
 
 

@@ -11,7 +11,11 @@ batch modes under measurement:
   whole vector of budget factors through the ``multi_budget`` strategy
   (one label search per query instead of one per factor) and reports the
   mean arrival probability per band and factor — the paper's
-  budget-vs-reliability trade-off at workload scale.
+  budget-vs-reliability trade-off at workload scale;
+* :func:`run_cached_serving_experiment` replays the workload through a
+  :class:`~repro.service.RoutingService` pass after pass — the repeated-OD
+  regime of production traffic — and reports per-pass wall clock and hit
+  rate against the uncached ``route_many`` reference.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from typing import Sequence
 from ..core.models import CostCombiner
 from ..network import RoadNetwork
 from ..routing import RoutingEngine, normalize_budgets
+from ..service import RoutingService
 from ._engines import require_matching_engine
 from .config import DistanceBand
 from .tables import format_percent, format_seconds, render_table
@@ -36,6 +41,9 @@ __all__ = [
     "BudgetSweepRow",
     "BudgetSweepTable",
     "run_budget_sweep_experiment",
+    "CachedServingRow",
+    "CachedServingTable",
+    "run_cached_serving_experiment",
 ]
 
 
@@ -147,6 +155,119 @@ class BudgetSweepTable:
         return render_table(
             headers, body, title="Arrival probability vs budget factor"
         )
+
+
+@dataclass(frozen=True)
+class CachedServingRow:
+    """One serving pass over the workload through the result cache."""
+
+    pass_index: int
+    wall_seconds: float
+    queries_per_second: float
+    cache_hits: int
+    cache_misses: int
+    speedup_vs_uncached: float
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+
+@dataclass(frozen=True)
+class CachedServingTable:
+    """Per-pass serving wall clocks against the uncached reference."""
+
+    rows: tuple[CachedServingRow, ...]
+    num_queries: int
+    uncached_seconds: float
+
+    def render(self) -> str:
+        headers = ["Pass", "Wall (sec)", "Queries/s", "Hit rate", "Speedup"]
+        body = [
+            [
+                str(row.pass_index),
+                format_seconds(row.wall_seconds, digits=3),
+                f"{row.queries_per_second:.1f}",
+                format_percent(row.hit_rate, digits=1),
+                f"{row.speedup_vs_uncached:.2f}x",
+            ]
+            for row in self.rows
+        ]
+        return render_table(
+            headers,
+            body,
+            title=(
+                f"Cached serving ({self.num_queries} queries/pass; uncached "
+                f"route_many {format_seconds(self.uncached_seconds, digits=3)})"
+            ),
+        )
+
+    @property
+    def steady_state(self) -> CachedServingRow:
+        """The last pass — what a long-lived service actually serves at."""
+        return self.rows[-1]
+
+    @property
+    def overall_hit_rate(self) -> float:
+        hits = sum(row.cache_hits for row in self.rows)
+        lookups = hits + sum(row.cache_misses for row in self.rows)
+        return hits / lookups if lookups else 0.0
+
+
+def run_cached_serving_experiment(
+    network: RoadNetwork,
+    combiner: CostCombiner,
+    workload: dict[DistanceBand, list[BandedQuery]],
+    *,
+    passes: int = 3,
+    engine: RoutingEngine | None = None,
+    max_cache_entries: int = 4096,
+) -> CachedServingTable:
+    """Replay the workload through a result-cached service, pass by pass.
+
+    Pass 1 is all misses (it fills the cache); later passes are the
+    repeated-OD regime a deployed service lives in.  The uncached reference
+    is one warm ``route_many`` over the same queries on the same engine, so
+    the reported speedups isolate the cache, not heuristic warm-up.
+    """
+    if passes < 2:
+        raise ValueError("need at least 2 passes (fill + at least one serve)")
+    if engine is None:
+        engine = RoutingEngine(network, combiner)
+    else:
+        require_matching_engine(engine, network, combiner)
+    queries = [banded.query for members in workload.values() for banded in members]
+    engine.route_many(queries)  # warm heuristics/CDFs for a fair reference
+    begin = time.perf_counter()
+    engine.route_many(queries)
+    uncached_seconds = time.perf_counter() - begin
+
+    service = RoutingService(
+        network, combiner, max_cache_entries=max_cache_entries
+    )
+    rows = []
+    for pass_index in range(1, passes + 1):
+        begin = time.perf_counter()
+        served = service.route_many(queries)
+        elapsed = time.perf_counter() - begin
+        rows.append(
+            CachedServingRow(
+                pass_index=pass_index,
+                wall_seconds=elapsed,
+                queries_per_second=len(queries) / elapsed if elapsed > 0 else 0.0,
+                cache_hits=served.cache_hits,
+                cache_misses=served.cache_misses,
+                speedup_vs_uncached=(
+                    uncached_seconds / elapsed if elapsed > 0 else 0.0
+                ),
+            )
+        )
+    return CachedServingTable(
+        rows=tuple(rows),
+        num_queries=len(queries),
+        uncached_seconds=uncached_seconds,
+    )
 
 
 def run_budget_sweep_experiment(

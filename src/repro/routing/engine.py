@@ -386,6 +386,7 @@ class BatchResult:
         the found / no-route / unanswered distinction intact.
         """
         return {
+            "kind": "batch",
             "results": [
                 None if result is None else result.to_dict()
                 for result in self.results
@@ -395,6 +396,21 @@ class BatchResult:
             "num_no_route": self.num_no_route,
             "num_unanswered": self.num_unanswered,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], network: RoadNetwork) -> "BatchResult":
+        """Rebuild a batch against ``network``.
+
+        ``null`` members come back as ``None`` (the outcome counters are
+        derived properties, so the round trip preserves them for free).
+        """
+        return cls(
+            results=tuple(
+                None if item is None else result_from_dict(item, network)
+                for item in data["results"]
+            ),
+            stats=SearchStats.from_dict(data.get("stats", {})),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -482,6 +498,17 @@ class RoutingEngine:
     def resolution(self) -> float:
         """Seconds per distribution grid tick (the cost table's resolution)."""
         return self.combiner.costs.resolution
+
+    @property
+    def cost_version(self) -> int:
+        """The engine's cost table's mutation version.
+
+        The serving layer keys its result cache on this value, so any
+        ``set_cost`` / ``apply_deltas`` edit invalidates every cached answer
+        by construction (new keys simply never match old entries) — no
+        scanning, no registration protocol.
+        """
+        return self.combiner.costs.version
 
     def query(self, source: int, target: int, budget: int) -> RoutingQuery:
         """Build a validated tick-budget query."""
@@ -750,11 +777,11 @@ class RoutingEngine:
 
     def result_from_dict(
         self, data: Mapping[str, Any]
-    ) -> RoutingResult | MultiBudgetResult | KBestResult:
+    ) -> RoutingResult | MultiBudgetResult | KBestResult | BatchResult:
         """Rebuild any serialised answer against this engine's network.
 
         Dispatches on the payload's ``kind`` tag (``"route"`` /
-        ``"multi_budget"`` / ``"kbest"``; untagged payloads are plain
-        results).
+        ``"multi_budget"`` / ``"kbest"`` / ``"batch"``; untagged payloads
+        are plain results).
         """
         return result_from_dict(data, self.network)

@@ -429,11 +429,13 @@ class KBestResult:
 
 def result_from_dict(
     data: Mapping[str, Any], network: RoadNetwork
-) -> "RoutingResult | MultiBudgetResult | KBestResult":
+) -> "RoutingResult | MultiBudgetResult | KBestResult | Any":
     """Rebuild any serialised routing answer by its ``kind`` tag.
 
     Payloads without a tag are treated as plain :class:`RoutingResult`
-    documents (the pre-tag wire format).
+    documents (the pre-tag wire format).  ``"batch"`` documents come back
+    as :class:`~repro.routing.engine.BatchResult` (imported lazily — the
+    engine module imports this one at load time).
     """
     kind = data.get("kind", "route")
     if kind == "multi_budget":
@@ -442,4 +444,8 @@ def result_from_dict(
         return KBestResult.from_dict(data, network)
     if kind == "route":
         return RoutingResult.from_dict(data, network)
+    if kind == "batch":
+        from .engine import BatchResult
+
+        return BatchResult.from_dict(data, network)
     raise ValueError(f"unknown routing result kind {kind!r}")

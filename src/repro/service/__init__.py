@@ -1,0 +1,45 @@
+"""The serving layer: versioned result caching over the routing engine.
+
+:class:`RoutingService` wraps :class:`~repro.routing.RoutingEngine` with a
+bounded, cost-table-version-keyed LRU result cache, live cost-table
+hot-swap (:class:`CostUpdate` / :meth:`RoutingService.apply_cost_update`),
+departure-time scenarios (named time-of-day cost-table slices behind a
+:class:`ScenarioSchedule`) and a JSON request/response wire protocol with
+:class:`ServiceStats` observability.  See PERFORMANCE.md ("Serving layer")
+for the cache-key and invalidation design.
+"""
+
+from .cache import ResultCache, freeze_kwargs
+from .scenarios import (
+    DAY_SECONDS,
+    DEFAULT_SLICE_WEIGHTS,
+    ScenarioSchedule,
+    TimeSlice,
+    time_sliced_cost_tables,
+)
+from .service import (
+    DEFAULT_SLICE,
+    RoutingService,
+    ServedBatch,
+    ServedResult,
+    ServiceStats,
+    StrategyLatency,
+)
+from .updates import CostUpdate
+
+__all__ = [
+    "CostUpdate",
+    "DAY_SECONDS",
+    "DEFAULT_SLICE",
+    "DEFAULT_SLICE_WEIGHTS",
+    "ResultCache",
+    "RoutingService",
+    "ScenarioSchedule",
+    "ServedBatch",
+    "ServedResult",
+    "ServiceStats",
+    "StrategyLatency",
+    "TimeSlice",
+    "freeze_kwargs",
+    "time_sliced_cost_tables",
+]

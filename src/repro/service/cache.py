@@ -1,0 +1,129 @@
+"""Versioned, bounded LRU result cache for the serving layer.
+
+Production routing services answer a heavily repeated query stream — the
+same popular OD pairs at the same budgets, request after request.  The
+cache makes those repeats O(1): a key is the full identity of an answer,
+
+    (slice, strategy, source, target, budget, frozen kwargs, cost version)
+
+where the trailing component is the serving cost table's mutation
+:attr:`~repro.core.costs.EdgeCostTable.version`.  A live cost update bumps
+the version, so every previously cached answer becomes unreachable *by
+construction* — no scanning, no invalidation lists — and simply ages out
+of the bounded LRU as fresh-version entries displace it.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any, Hashable, Mapping
+
+__all__ = ["ResultCache", "freeze_kwargs"]
+
+
+def freeze_kwargs(kwargs: Mapping[str, Any]) -> tuple:
+    """Canonicalise strategy kwargs into a hashable cache-key component.
+
+    Mappings become sorted item tuples, sequences become tuples and sets
+    become frozensets, recursively, so wire-deserialised kwargs (lists) and
+    native ones (tuples) produce the same key.  A value that cannot be made
+    hashable raises ``TypeError`` — the caller treats that request as
+    uncacheable rather than guessing at its identity.
+    """
+
+    def freeze(value: Any) -> Hashable:
+        if isinstance(value, Mapping):
+            return tuple(sorted((str(k), freeze(v)) for k, v in value.items()))
+        if isinstance(value, (list, tuple)):
+            return tuple(freeze(v) for v in value)
+        if isinstance(value, (set, frozenset)):
+            return frozenset(freeze(v) for v in value)
+        hash(value)  # raises TypeError for unhashable leaves
+        return value
+
+    return tuple(sorted((str(k), freeze(v)) for k, v in kwargs.items()))
+
+
+class ResultCache:
+    """A bounded LRU mapping of cache keys to routing answers.
+
+    ``max_entries`` bounds memory; the eviction policy is plain LRU, which
+    under version-keyed invalidation doubles as garbage collection — stale
+    -version entries are never touched again, so they are exactly the
+    least-recently-used ones.  ``hits`` / ``misses`` / ``evictions`` are
+    cumulative counters surfaced through
+    :meth:`repro.service.RoutingService.stats`.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if (
+            isinstance(max_entries, bool)
+            or not isinstance(max_entries, numbers.Integral)
+            or max_entries < 1
+        ):
+            raise ValueError(
+                f"max_entries must be a positive integer, got {max_entries!r}"
+            )
+        self.max_entries = int(max_entries)
+        self._entries: dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached answer for ``key``, or ``None`` (counted as a miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        # dicts preserve insertion order; re-inserting implements LRU
+        # recency without an OrderedDict dependency.
+        del self._entries[key]
+        self._entries[key] = entry
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``value``, evicting least-recently-used entries if full."""
+        if value is None:
+            raise ValueError("None is the miss sentinel and cannot be cached")
+        self._entries.pop(key, None)
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+
+    def refund_miss(self, count: int = 1) -> None:
+        """Un-count miss lookups whose request subsequently failed.
+
+        A request that errors after its lookup (unknown strategy, invalid
+        kwargs) was never cache traffic — leaving its miss counted would
+        let a client retrying bad requests deflate the hit rate an
+        operator alarms on.
+        """
+        self.misses = max(0, self.misses - count)
+
+    def refund_hit(self, count: int = 1) -> None:
+        """Un-count hit lookups whose request subsequently failed.
+
+        The mirror of :meth:`refund_miss`: when a batch fails after some
+        members were served from cache, the caller receives nothing — a
+        retried failing batch must not pump the hit rate either.
+        """
+        self.hits = max(0, self.hits - count)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0

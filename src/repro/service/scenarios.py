@@ -1,0 +1,192 @@
+"""Departure-time scenarios: named time-of-day cost-table slices.
+
+Travel-time distributions are not stationary over the day — the paper's
+corpus is Danish rush-hour GPS data for a reason.  The serving layer models
+this with *slices*: named cost tables (``"peak"`` / ``"off_peak"`` /
+``"night"`` by default) plus a :class:`ScenarioSchedule` that maps a
+departure time (seconds of day) onto the slice whose table should answer.
+Each slice is a full :class:`~repro.core.costs.EdgeCostTable` with its own
+mutation version, so per-slice heuristic tables and cached answers are
+reused independently and a live update to one slice never invalidates the
+others.
+
+:func:`time_sliced_cost_tables` builds the slices from the congestion
+ground truth: the same per-state conditional distributions mixed with a
+slice-specific state weighting
+(:meth:`~repro.trajectories.CongestionModel.slice_marginal`).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.costs import EdgeCostTable
+from ..network import RoadNetwork
+from ..trajectories import CongestionModel
+
+__all__ = [
+    "DAY_SECONDS",
+    "DEFAULT_SLICE_WEIGHTS",
+    "ScenarioSchedule",
+    "TimeSlice",
+    "time_sliced_cost_tables",
+]
+
+#: Seconds in one scheduling day.
+DAY_SECONDS = 86_400
+
+#: Default congestion-state weightings per slice (free / moderate / heavy).
+#: ``off_peak`` is the stationary mix the marginal tables use; ``peak``
+#: loads the congested states, ``night`` collapses onto free flow.
+DEFAULT_SLICE_WEIGHTS: Mapping[str, tuple[float, ...]] = {
+    "peak": (0.25, 0.45, 0.30),
+    "off_peak": (0.6, 0.3, 0.1),
+    "night": (0.92, 0.07, 0.01),
+}
+
+
+@dataclass(frozen=True)
+class TimeSlice:
+    """One contiguous interval of the day served by a named slice.
+
+    ``start`` is inclusive, ``end`` exclusive, both in seconds of day.  A
+    slice name may appear in several intervals (morning and evening peak).
+    """
+
+    name: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("slice name must be non-empty")
+        if not 0 <= self.start < self.end <= DAY_SECONDS:
+            raise ValueError(
+                f"slice {self.name!r}: need 0 <= start < end <= {DAY_SECONDS}, "
+                f"got [{self.start}, {self.end})"
+            )
+
+
+class ScenarioSchedule:
+    """A total map from departure time (seconds of day) to a slice name.
+
+    The intervals must tile the whole day — contiguous, non-overlapping,
+    starting at 0 and ending at :data:`DAY_SECONDS` — so every conceivable
+    departure resolves to exactly one slice.  Departure times outside
+    ``[0, DAY_SECONDS)`` (epoch-style timestamps, multi-day horizons) wrap
+    modulo the day.
+    """
+
+    def __init__(self, slices: Sequence[TimeSlice]) -> None:
+        ordered = sorted(slices, key=lambda s: s.start)
+        if not ordered:
+            raise ValueError("a schedule needs at least one time slice")
+        if ordered[0].start != 0 or ordered[-1].end != DAY_SECONDS:
+            raise ValueError(
+                "schedule must cover the whole day: first slice starts at 0, "
+                f"last ends at {DAY_SECONDS}"
+            )
+        for before, after in zip(ordered, ordered[1:]):
+            if before.end != after.start:
+                raise ValueError(
+                    f"schedule has a gap/overlap between {before.name!r} "
+                    f"(ends {before.end}) and {after.name!r} "
+                    f"(starts {after.start})"
+                )
+        self.slices = tuple(ordered)
+        self._starts = [s.start for s in ordered]
+
+    @classmethod
+    def default(cls) -> "ScenarioSchedule":
+        """The stock weekday: night / commuter peaks / off-peak in between."""
+        hours = [
+            ("night", 0, 6),
+            ("off_peak", 6, 7),
+            ("peak", 7, 9),
+            ("off_peak", 9, 16),
+            ("peak", 16, 18),
+            ("off_peak", 18, 22),
+            ("night", 22, 24),
+        ]
+        return cls(
+            [TimeSlice(name, lo * 3600.0, hi * 3600.0) for name, lo, hi in hours]
+        )
+
+    @property
+    def slice_names(self) -> tuple[str, ...]:
+        """Distinct slice names, in first-appearance order over the day."""
+        seen: dict[str, None] = {}
+        for member in self.slices:
+            seen.setdefault(member.name, None)
+        return tuple(seen)
+
+    def slice_at(self, departure_time_seconds: float) -> str:
+        """The slice name serving a departure at ``departure_time_seconds``."""
+        t = float(departure_time_seconds)
+        if not math.isfinite(t):
+            raise ValueError("departure time must be finite")
+        t %= DAY_SECONDS
+        return self.slices[bisect_right(self._starts, t) - 1].name
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (exact :meth:`from_dict` round-trip)."""
+        return {
+            "kind": "schedule",
+            "slices": [
+                {"name": s.name, "start": s.start, "end": s.end}
+                for s in self.slices
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSchedule":
+        return cls(
+            [
+                TimeSlice(item["name"], float(item["start"]), float(item["end"]))
+                for item in data["slices"]
+            ]
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScenarioSchedule):
+            return NotImplemented
+        return self.slices == other.slices
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{s.name}[{s.start / 3600:g}h,{s.end / 3600:g}h)" for s in self.slices
+        )
+        return f"ScenarioSchedule({parts})"
+
+
+def time_sliced_cost_tables(
+    network: RoadNetwork,
+    model: CongestionModel,
+    weights: Mapping[str, Sequence[float]] | None = None,
+) -> dict[str, EdgeCostTable]:
+    """Build one :class:`EdgeCostTable` per named slice from ground truth.
+
+    Every edge of ``network`` gets its
+    :meth:`~repro.trajectories.CongestionModel.slice_marginal` under that
+    slice's state weighting; the default weightings pair with
+    :meth:`ScenarioSchedule.default`.  Each table is populated through one
+    :meth:`~repro.core.costs.EdgeCostTable.apply_deltas` batch, so a fresh
+    slice starts at version 1.
+    """
+    chosen = dict(weights if weights is not None else DEFAULT_SLICE_WEIGHTS)
+    if not chosen:
+        raise ValueError("need at least one slice weighting")
+    tables: dict[str, EdgeCostTable] = {}
+    for name, state_weights in chosen.items():
+        table = EdgeCostTable(network, resolution=model.config.resolution)
+        table.apply_deltas(
+            {
+                edge.id: model.slice_marginal(edge, state_weights)
+                for edge in network.edges
+            }
+        )
+        tables[name] = table
+    return tables

@@ -1,0 +1,747 @@
+"""The :class:`RoutingService` — a serving layer over :class:`RoutingEngine`.
+
+The engine made one query fast and batches parallel; the service keeps
+answers hot *across* requests, the way production trip-dispatch stacks
+serve repeated OD traffic:
+
+* a bounded LRU **result cache** keyed by
+  ``(slice, strategy, source, target, budget, kwargs, cost version)`` —
+  repeated queries are O(1), and any cost update invalidates by version
+  bump, never by scanning (:mod:`repro.service.cache`);
+* **cost-table hot-swap** — :meth:`RoutingService.apply_cost_update`
+  ingests per-edge histogram deltas (e.g. a congestion feed event,
+  :class:`~repro.service.updates.CostUpdate`), applies them under one
+  version bump and keeps serving: answers produced before the swap stay
+  available tagged with the version they were computed under;
+* **departure-time scenarios** — named time-sliced cost tables (peak /
+  off-peak / night) behind a :class:`~repro.service.scenarios.ScenarioSchedule`;
+  :meth:`RoutingService.route_at` selects the slice for a departure time,
+  and each slice keeps its own engine, heuristic reuse and cache entries;
+* a JSON **wire protocol** (:meth:`RoutingService.handle_request` /
+  :meth:`RoutingService.handle_json`) over the engine's kind-tagged result
+  documents, plus :meth:`RoutingService.stats` observability
+  (hit rate, evictions, per-strategy latency) in the style of
+  :class:`~repro.routing.SearchStats`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from ..core.costs import EdgeCostTable
+from ..core.models import ConvolutionModel, CostCombiner
+from ..histograms import DiscreteDistribution
+from ..network import RoadNetwork
+from ..routing import (
+    BatchResult,
+    KBestResult,
+    MultiBudgetResult,
+    PruningConfig,
+    RoutingEngine,
+    RoutingQuery,
+    RoutingResult,
+    SearchStats,
+    result_from_dict,
+)
+from .cache import ResultCache, freeze_kwargs
+from .scenarios import ScenarioSchedule
+from .updates import CostUpdate
+
+__all__ = [
+    "DEFAULT_SLICE",
+    "RoutingService",
+    "ServedBatch",
+    "ServedResult",
+    "ServiceStats",
+    "StrategyLatency",
+]
+
+#: Name of the slice a plain single-table service routes on.
+DEFAULT_SLICE = "default"
+
+#: Any single-query answer the service can serve.
+ServiceAnswer = RoutingResult | MultiBudgetResult | KBestResult
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """One service response: the answer plus its serving metadata.
+
+    ``cost_version`` tags which cost-table version produced the answer —
+    after a hot swap a consumer can tell a stale (pre-update) answer from a
+    fresh one without the service ever blocking.  ``result`` is ``None``
+    exactly when the strategy declined to answer (never cached).
+    """
+
+    result: ServiceAnswer | None
+    cache_hit: bool
+    cost_version: int
+    slice_name: str
+    strategy: str
+
+    @property
+    def found(self) -> bool:
+        return self.result is not None and self.result.found
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (exact :meth:`from_dict` round-trip)."""
+        return {
+            "kind": "served",
+            "slice": self.slice_name,
+            "strategy": self.strategy,
+            "cache_hit": self.cache_hit,
+            "cost_version": self.cost_version,
+            "result": None if self.result is None else self.result.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], network: RoadNetwork
+    ) -> "ServedResult":
+        payload = data["result"]
+        return cls(
+            result=None if payload is None else result_from_dict(payload, network),
+            cache_hit=bool(data["cache_hit"]),
+            cost_version=int(data["cost_version"]),
+            slice_name=data["slice"],
+            strategy=data["strategy"],
+        )
+
+
+@dataclass(frozen=True)
+class ServedBatch:
+    """A served batch: the engine's :class:`BatchResult` plus cache metadata.
+
+    ``batch.stats`` aggregates only the *miss* searches — hits did no
+    search, which is the point.  ``cache_hits + cache_misses`` equals the
+    batch length for cacheable requests; time-limited requests bypass the
+    cache entirely and count every member as a miss.
+    """
+
+    batch: BatchResult
+    cache_hits: int
+    cache_misses: int
+    cost_version: int
+    slice_name: str
+    strategy: str
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+    def __iter__(self) -> Iterator[ServiceAnswer | None]:
+        return iter(self.batch)
+
+    def __getitem__(self, index: int) -> ServiceAnswer | None:
+        return self.batch[index]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (exact :meth:`from_dict` round-trip)."""
+        return {
+            "kind": "served_batch",
+            "slice": self.slice_name,
+            "strategy": self.strategy,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cost_version": self.cost_version,
+            "batch": self.batch.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], network: RoadNetwork
+    ) -> "ServedBatch":
+        return cls(
+            batch=BatchResult.from_dict(data["batch"], network),
+            cache_hits=int(data["cache_hits"]),
+            cache_misses=int(data["cache_misses"]),
+            cost_version=int(data["cost_version"]),
+            slice_name=data["slice"],
+            strategy=data["strategy"],
+        )
+
+
+@dataclass
+class StrategyLatency:
+    """Serving-latency counters for one strategy (hits included)."""
+
+    requests: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.requests if self.requests else 0.0
+
+    def record(self, elapsed_seconds: float) -> None:
+        self.requests += 1
+        self.total_seconds += elapsed_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StrategyLatency":
+        return cls(
+            requests=int(data["requests"]),
+            total_seconds=float(data["total_seconds"]),
+        )
+
+
+@dataclass
+class ServiceStats:
+    """One observability snapshot of a :class:`RoutingService`.
+
+    The cache counters are cumulative over the service's lifetime;
+    ``strategies`` maps each strategy that served at least one request to
+    its :class:`StrategyLatency`.  Like :class:`~repro.routing.SearchStats`,
+    the snapshot is wire-ready via :meth:`to_dict` / :meth:`from_dict`.
+    """
+
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_entries: int = 0
+    updates_applied: int = 0
+    strategies: dict[str, StrategyLatency] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cache lookups served from cache (0.0 when none)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "service_stats",
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_entries": self.cache_entries,
+            "updates_applied": self.updates_applied,
+            "hit_rate": self.hit_rate,
+            "strategies": {
+                name: latency.to_dict()
+                for name, latency in sorted(self.strategies.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceStats":
+        return cls(
+            requests=int(data["requests"]),
+            cache_hits=int(data["cache_hits"]),
+            cache_misses=int(data["cache_misses"]),
+            cache_evictions=int(data["cache_evictions"]),
+            cache_entries=int(data["cache_entries"]),
+            updates_applied=int(data["updates_applied"]),
+            strategies={
+                name: StrategyLatency.from_dict(payload)
+                for name, payload in data.get("strategies", {}).items()
+            },
+        )
+
+
+class RoutingService:
+    """Versioned-cache serving layer over one or more routing engines.
+
+    One service instance is what a deployment keeps alive per road network:
+    it owns a :class:`RoutingEngine` per named cost-table slice, one shared
+    result cache, and the live-update path.  Construct it with a single
+    combiner for a one-table service, or via :meth:`from_time_slices` for
+    departure-time scenarios.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        combiner: CostCombiner,
+        *,
+        slice_name: str = DEFAULT_SLICE,
+        schedule: ScenarioSchedule | None = None,
+        pruning: PruningConfig | None = None,
+        max_cache_entries: int = 4096,
+    ) -> None:
+        self.network = network
+        self.default_slice = slice_name
+        self.schedule = schedule
+        self._pruning = pruning
+        self._engines: dict[str, RoutingEngine] = {}
+        self._cache = ResultCache(max_entries=max_cache_entries)
+        self._latency: dict[str, StrategyLatency] = {}
+        self._requests = 0
+        self._updates_applied = 0
+        self.add_slice(slice_name, combiner)
+
+    @classmethod
+    def from_time_slices(
+        cls,
+        network: RoadNetwork,
+        slice_tables: Mapping[str, EdgeCostTable],
+        *,
+        schedule: ScenarioSchedule | None = None,
+        default_slice: str | None = None,
+        combiner_factory: Callable[[EdgeCostTable], CostCombiner] = ConvolutionModel,
+        pruning: PruningConfig | None = None,
+        max_cache_entries: int = 4096,
+    ) -> "RoutingService":
+        """Build a scenario service from named per-slice cost tables.
+
+        ``slice_tables`` usually comes from
+        :func:`~repro.service.scenarios.time_sliced_cost_tables`;
+        ``combiner_factory`` wraps each table in the cost model to serve
+        (convolution by default).  The default slice is ``default_slice`` or
+        the first table; ``schedule`` defaults to
+        :meth:`ScenarioSchedule.default` and must name only known slices.
+        """
+        if not slice_tables:
+            raise ValueError("need at least one slice table")
+        if schedule is None:
+            schedule = ScenarioSchedule.default()
+        first = default_slice if default_slice is not None else next(iter(slice_tables))
+        if first not in slice_tables:
+            raise ValueError(f"default slice {first!r} is not a slice table")
+        service = cls(
+            network,
+            combiner_factory(slice_tables[first]),
+            slice_name=first,
+            schedule=schedule,
+            pruning=pruning,
+            max_cache_entries=max_cache_entries,
+        )
+        for name, table in slice_tables.items():
+            if name != first:
+                service.add_slice(name, combiner_factory(table))
+        missing = set(schedule.slice_names) - set(service.slice_names)
+        if missing:
+            raise ValueError(
+                f"schedule names slices with no cost table: {sorted(missing)}"
+            )
+        return service
+
+    def __repr__(self) -> str:
+        return (
+            f"RoutingService(slices={list(self._engines)}, "
+            f"default={self.default_slice!r}, cached={len(self._cache)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Slices
+    # ------------------------------------------------------------------
+
+    @property
+    def slice_names(self) -> tuple[str, ...]:
+        """Every named slice, default first."""
+        return tuple(self._engines)
+
+    def add_slice(self, name: str, combiner: CostCombiner) -> RoutingEngine:
+        """Register a named cost-table slice (its own engine and caches)."""
+        if not isinstance(name, str) or not name:
+            raise ValueError("slice name must be a non-empty string")
+        if name in self._engines:
+            raise ValueError(f"slice {name!r} is already registered")
+        engine = RoutingEngine(self.network, combiner, pruning=self._pruning)
+        self._engines[name] = engine
+        return engine
+
+    def engine(self, slice_name: str | None = None) -> RoutingEngine:
+        """The engine serving ``slice_name`` (default slice for ``None``)."""
+        name = self._resolve_slice(slice_name)
+        return self._engines[name]
+
+    def _resolve_slice(self, slice_name: str | None) -> str:
+        name = self.default_slice if slice_name is None else slice_name
+        if name not in self._engines:
+            raise KeyError(
+                f"unknown slice {name!r}; available: {', '.join(self._engines)}"
+            )
+        return name
+
+    def cost_version(self, slice_name: str | None = None) -> int:
+        """The serving cost-table version of one slice."""
+        return self.engine(slice_name).cost_version
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def route(
+        self,
+        query: RoutingQuery,
+        *,
+        strategy: str = "pbr",
+        slice_name: str | None = None,
+        time_limit_seconds: float | None = None,
+        **kwargs: Any,
+    ) -> ServedResult:
+        """Answer one query, served from cache when possible.
+
+        Cache hits return the very answer object computed on the miss —
+        bit-equal by construction.  Requests with a wall-clock limit bypass
+        the cache entirely (their answers depend on machine load, not only
+        on the query), as do requests whose kwargs cannot be canonicalised
+        into a key.
+        """
+        name = self._resolve_slice(slice_name)
+        engine = self._engines[name]
+        # Resolve the strategy before any counting: an unknown name (wire
+        # input is untrusted) must raise here, not leave a permanent entry
+        # in the per-strategy latency map — that map stays bounded by the
+        # strategy registry.
+        engine.strategy(strategy)
+        version = engine.cost_version
+        begin = time.perf_counter()
+        key = self._cache_key(
+            name, strategy, query, self._key_extras(time_limit_seconds, kwargs),
+            version,
+        )
+        if key is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._record(strategy, time.perf_counter() - begin)
+                return ServedResult(cached, True, version, name, strategy)
+        try:
+            result = engine.route(
+                query,
+                strategy=strategy,
+                time_limit_seconds=time_limit_seconds,
+                **kwargs,
+            )
+        except BaseException:
+            # The lookup above was never cache traffic — the request
+            # failed, so refund its miss; the request itself still counts.
+            if key is not None:
+                self._cache.refund_miss()
+            raise
+        finally:
+            self._record(strategy, time.perf_counter() - begin)
+        if key is not None and result is not None:
+            self._cache.put(key, result)
+        return ServedResult(result, False, version, name, strategy)
+
+    def route_at(
+        self,
+        query: RoutingQuery,
+        departure_time_seconds: float,
+        *,
+        strategy: str = "pbr",
+        time_limit_seconds: float | None = None,
+        **kwargs: Any,
+    ) -> ServedResult:
+        """Answer one query for a given departure time.
+
+        The schedule picks the cost-table slice (peak / off-peak / night …)
+        whose distributions describe traffic at that time of day; the
+        request then serves exactly like :meth:`route` on that slice,
+        including its per-slice cache entries and heuristic reuse.
+        """
+        if self.schedule is None:
+            raise ValueError(
+                "route_at needs a ScenarioSchedule; construct the service "
+                "with schedule=... or use from_time_slices"
+            )
+        return self.route(
+            query,
+            strategy=strategy,
+            slice_name=self.schedule.slice_at(departure_time_seconds),
+            time_limit_seconds=time_limit_seconds,
+            **kwargs,
+        )
+
+    def route_many(
+        self,
+        queries: Iterable[RoutingQuery],
+        *,
+        strategy: str = "pbr",
+        slice_name: str | None = None,
+        time_limit_seconds: float | None = None,
+        workers: int | None = None,
+        **kwargs: Any,
+    ) -> ServedBatch:
+        """Serve a batch: answer hits from cache, route only the misses.
+
+        The miss subset goes through :meth:`RoutingEngine.route_many`
+        (keeping its target grouping and optional ``workers`` sharding);
+        results come back in input order, and every freshly computed
+        cacheable answer is inserted for the next request.
+        """
+        name = self._resolve_slice(slice_name)
+        engine = self._engines[name]
+        engine.strategy(strategy)  # unknown names raise before any counting
+        version = engine.cost_version
+        query_list = list(queries)
+        begin = time.perf_counter()
+        results: list[ServiceAnswer | None] = [None] * len(query_list)
+        keys: list[Any | None] = [None] * len(query_list)
+        miss_indices: list[int] = []
+        extras = self._key_extras(time_limit_seconds, kwargs)
+        for index, query in enumerate(query_list):
+            key = self._cache_key(name, strategy, query, extras, version)
+            keys[index] = key
+            cached = self._cache.get(key) if key is not None else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                miss_indices.append(index)
+        if miss_indices:
+            try:
+                sub_batch = engine.route_many(
+                    [query_list[index] for index in miss_indices],
+                    strategy=strategy,
+                    time_limit_seconds=time_limit_seconds,
+                    workers=workers,
+                    **kwargs,
+                )
+            except BaseException:
+                # The caller receives nothing, so none of this batch's
+                # lookups — hit or miss — were real cache traffic.
+                looked_up = sum(1 for key in keys if key is not None)
+                missed = sum(
+                    1 for index in miss_indices if keys[index] is not None
+                )
+                self._cache.refund_miss(missed)
+                self._cache.refund_hit(looked_up - missed)
+                self._record(strategy, time.perf_counter() - begin)
+                raise
+            for index, result in zip(miss_indices, sub_batch):
+                results[index] = result
+                if keys[index] is not None and result is not None:
+                    self._cache.put(keys[index], result)
+            stats = sub_batch.stats
+        else:
+            stats = SearchStats.aggregate(())
+        self._record(strategy, time.perf_counter() - begin)
+        return ServedBatch(
+            batch=BatchResult(results=tuple(results), stats=stats),
+            cache_hits=len(query_list) - len(miss_indices),
+            cache_misses=len(miss_indices),
+            cost_version=version,
+            slice_name=name,
+            strategy=strategy,
+        )
+
+    # ------------------------------------------------------------------
+    # Live cost updates
+    # ------------------------------------------------------------------
+
+    def apply_cost_update(
+        self,
+        update: CostUpdate | Mapping[int, DiscreteDistribution],
+        *,
+        slice_name: str | None = None,
+    ) -> int:
+        """Hot-swap per-edge histograms into one slice's cost table.
+
+        The whole batch lands under a *single* version bump
+        (:meth:`EdgeCostTable.apply_deltas`), which strands every cached
+        answer for that slice — new lookups carry the new version and miss
+        onto fresh searches, while stale entries age out of the LRU without
+        any scan.  Answers already produced remain valid as of the
+        ``cost_version`` they are tagged with.  An explicit ``slice_name``
+        overrides the update's own target.  Returns the new version.
+        """
+        mapping = update.costs if isinstance(update, CostUpdate) else update
+        engine = self._engines[self._update_target(update, slice_name)]
+        new_version = engine.combiner.costs.apply_deltas(mapping)
+        self._updates_applied += 1
+        return new_version
+
+    def _update_target(
+        self,
+        update: CostUpdate | Mapping[int, DiscreteDistribution],
+        slice_name: str | None,
+    ) -> str:
+        """The one resolution rule for where an update lands.
+
+        An explicit ``slice_name`` wins; otherwise a :class:`CostUpdate`'s
+        own target; otherwise the default slice.
+        """
+        if slice_name is None and isinstance(update, CostUpdate):
+            slice_name = update.slice_name
+        return self._resolve_slice(slice_name)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A point-in-time snapshot of the service's serving counters."""
+        return ServiceStats(
+            requests=self._requests,
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
+            cache_evictions=self._cache.evictions,
+            cache_entries=len(self._cache),
+            updates_applied=self._updates_applied,
+            strategies={
+                name: StrategyLatency(
+                    requests=latency.requests,
+                    total_seconds=latency.total_seconds,
+                )
+                for name, latency in self._latency.items()
+            },
+        )
+
+    def clear_cache(self) -> None:
+        """Drop every cached answer (counters survive; engines untouched)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Wire protocol
+    # ------------------------------------------------------------------
+
+    def handle_request(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """Serve one JSON-ready request document.
+
+        Operations (the ``op`` field): ``"route"``, ``"route_at"``,
+        ``"route_many"``, ``"apply_update"`` and ``"stats"``; see the test
+        suite and ``examples/routing_service.py`` for the exact shapes.
+        Success responses carry ``"ok": true`` plus the corresponding
+        kind-tagged document; malformed or failing requests come back as
+        ``{"ok": false, "error": ...}`` instead of raising — a service
+        answers every request.
+        """
+        try:
+            op = request.get("op")
+            if op == "route" or op == "route_at":
+                query = RoutingQuery.from_dict(request["query"])
+                kwargs = self._wire_kwargs(request)
+                common = {
+                    "strategy": request.get("strategy", "pbr"),
+                    "time_limit_seconds": request.get("time_limit_seconds"),
+                    **kwargs,
+                }
+                if op == "route_at":
+                    if request.get("slice") is not None:
+                        raise ValueError(
+                            "route_at selects the slice from the schedule; "
+                            "pin a slice explicitly with op='route' instead "
+                            "of passing 'slice'"
+                        )
+                    served = self.route_at(
+                        query, request["departure_time_seconds"], **common
+                    )
+                else:
+                    served = self.route(
+                        query, slice_name=request.get("slice"), **common
+                    )
+                return {"ok": True, **served.to_dict()}
+            if op == "route_many":
+                served = self.route_many(
+                    [RoutingQuery.from_dict(item) for item in request["queries"]],
+                    strategy=request.get("strategy", "pbr"),
+                    slice_name=request.get("slice"),
+                    time_limit_seconds=request.get("time_limit_seconds"),
+                    workers=request.get("workers"),
+                    **self._wire_kwargs(request),
+                )
+                return {"ok": True, **served.to_dict()}
+            if op == "apply_update":
+                update = CostUpdate.from_dict(request["update"])
+                target = self._update_target(update, request.get("slice"))
+                version = self.apply_cost_update(update, slice_name=target)
+                return {
+                    "ok": True,
+                    "kind": "update_applied",
+                    "slice": target,
+                    "cost_version": version,
+                    "num_edges": len(update),
+                }
+            if op == "stats":
+                return {"ok": True, **self.stats().to_dict()}
+            raise ValueError(
+                f"unknown op {op!r}; expected route/route_at/route_many/"
+                "apply_update/stats"
+            )
+        except Exception as exc:
+            # The always-answer contract: *any* failure — malformed
+            # documents, strategy validation, even a crashed pool worker —
+            # comes back as a document, never as an escaped exception that
+            # takes the serving loop down with it.
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def handle_json(self, line: str) -> str:
+        """:meth:`handle_request` over JSON text (one request per call)."""
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return json.dumps({"ok": False, "error": f"JSONDecodeError: {exc}"})
+        if not isinstance(request, Mapping):
+            return json.dumps(
+                {"ok": False, "error": "TypeError: request must be an object"}
+            )
+        return json.dumps(self.handle_request(request))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    #: Request fields that must never be smuggled in through ``kwargs`` —
+    #: they have explicit top-level slots, and letting the spread win would
+    #: silently reroute or un-cache a request labelled otherwise.
+    _RESERVED_WIRE_KWARGS = frozenset(
+        {"strategy", "time_limit_seconds", "slice", "slice_name", "workers",
+         "query", "queries", "departure_time_seconds"}
+    )
+
+    def _wire_kwargs(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """The request's strategy kwargs, with reserved fields rejected."""
+        kwargs = dict(request.get("kwargs", {}))
+        reserved = self._RESERVED_WIRE_KWARGS.intersection(kwargs)
+        if reserved:
+            raise ValueError(
+                "kwargs may not override reserved request fields: "
+                f"{sorted(reserved)}; set them at the top level"
+            )
+        return kwargs
+
+    def _key_extras(
+        self,
+        time_limit_seconds: float | None,
+        kwargs: Mapping[str, Any],
+    ) -> tuple | None:
+        """The request's frozen kwargs, or ``None`` when uncacheable.
+
+        Query-independent, so batch serving computes it once per call.
+        """
+        if time_limit_seconds is not None:
+            return None
+        try:
+            return freeze_kwargs(kwargs)
+        except TypeError:
+            return None
+
+    def _cache_key(
+        self,
+        slice_name: str,
+        strategy: str,
+        query: RoutingQuery,
+        extras: tuple | None,
+        version: int,
+    ) -> tuple | None:
+        """The cache key for one request, or ``None`` when uncacheable."""
+        if extras is None:
+            return None
+        return (
+            slice_name,
+            strategy,
+            query.source,
+            query.target,
+            query.budget,
+            extras,
+            version,
+        )
+
+    def _record(self, strategy: str, elapsed_seconds: float) -> None:
+        self._requests += 1
+        latency = self._latency.get(strategy)
+        if latency is None:
+            latency = self._latency[strategy] = StrategyLatency()
+        latency.record(elapsed_seconds)

@@ -1,0 +1,149 @@
+"""Live cost-table updates: the hot-swap ingestion side of the service.
+
+A :class:`CostUpdate` is one feed event — a batch of per-edge histogram
+replacements bound for one named slice.  Applying it
+(:meth:`repro.service.RoutingService.apply_cost_update`) installs every
+histogram under a single cost-table version bump, which is what makes
+invalidation free: cached answers are keyed by version, so the bump strands
+them without any scanning, while in-flight and already-cached responses
+remain valid *as of the version they are tagged with*.
+
+:meth:`CostUpdate.from_congestion` adapts the trajectory-side congestion
+model (:meth:`~repro.trajectories.CongestionModel.cost_update`) into an
+update — e.g. "this corridor just went to the heavy state".
+"""
+
+from __future__ import annotations
+
+import math
+import numbers
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..histograms import DiscreteDistribution
+from ..network import Edge
+from ..trajectories import CongestionModel
+
+__all__ = ["CostUpdate"]
+
+
+@dataclass(frozen=True)
+class CostUpdate:
+    """A batch of per-edge cost histograms from a live feed.
+
+    ``slice_name`` targets one of the service's named slices (``None`` means
+    the service's default slice); ``source`` is a free-form provenance label
+    for observability.
+    """
+
+    costs: Mapping[int, DiscreteDistribution]
+    slice_name: str | None = None
+    source: str = "feed"
+
+    def __post_init__(self) -> None:
+        if not self.costs:
+            raise ValueError("a cost update needs at least one edge")
+        validated: dict[int, DiscreteDistribution] = {}
+        for edge_id, distribution in self.costs.items():
+            # Negative ids would wrap onto real edges at apply time
+            # (list indexing); reject them here, at the feed boundary.
+            # Numpy integers are fine and normalise to plain ints.
+            if (
+                isinstance(edge_id, bool)
+                or not isinstance(edge_id, numbers.Integral)
+                or edge_id < 0
+            ):
+                raise TypeError(
+                    f"edge id must be a non-negative integer, got {edge_id!r}"
+                )
+            if not isinstance(distribution, DiscreteDistribution):
+                raise TypeError(
+                    f"edge {edge_id}: expected a DiscreteDistribution, got "
+                    f"{type(distribution).__name__}"
+                )
+            # The search's simple-path pruning is only sound for
+            # non-negative travel times; a negative support would corrupt
+            # every route over the edge, so it never enters an update.
+            if distribution.min_value < 0:
+                raise ValueError(
+                    f"edge {edge_id}: cost histograms must not contain "
+                    f"negative travel times (min {distribution.min_value})"
+                )
+            validated[int(edge_id)] = distribution
+        object.__setattr__(self, "costs", validated)
+
+    def __len__(self) -> int:
+        return len(self.costs)
+
+    @property
+    def edge_ids(self) -> tuple[int, ...]:
+        """The updated edge ids, ascending."""
+        return tuple(sorted(self.costs))
+
+    @classmethod
+    def from_congestion(
+        cls,
+        model: CongestionModel,
+        edges: Sequence[Edge],
+        state: int,
+        *,
+        slice_name: str | None = None,
+    ) -> "CostUpdate":
+        """Adapt a congestion feed event into an update.
+
+        The listed ``edges`` were observed in latent congestion ``state``;
+        their histograms become the state-conditioned distributions the
+        ground-truth model assigns (see
+        :meth:`~repro.trajectories.CongestionModel.cost_update`).
+        """
+        return cls(
+            costs=model.cost_update(edges, state),
+            slice_name=slice_name,
+            source=f"congestion:state={state}",
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (exact :meth:`from_dict` round-trip)."""
+        return {
+            "kind": "cost_update",
+            "slice": self.slice_name,
+            "source": self.source,
+            "costs": {
+                str(edge_id): {
+                    "offset": dist.offset,
+                    "probs": [float(p) for p in dist.probs],
+                }
+                for edge_id, dist in sorted(self.costs.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CostUpdate":
+        """Rebuild an update from its wire document, *validating* histograms.
+
+        Unlike internally produced result documents, update feeds cross a
+        trust boundary: a histogram whose mass is not 1 (a truncated or
+        hand-built payload) would be hot-swapped into the live table and
+        silently deflate every probability routed over that edge.  Such
+        payloads are rejected here, not repaired.
+        """
+        costs: dict[int, DiscreteDistribution] = {}
+        for edge_id, payload in data["costs"].items():
+            offset = payload["offset"]
+            if isinstance(offset, bool) or not isinstance(offset, numbers.Integral):
+                raise ValueError(
+                    f"edge {edge_id}: histogram offset must be a grid "
+                    f"integer, got {offset!r}"
+                )
+            probs = [float(p) for p in payload["probs"]]
+            total = math.fsum(probs)
+            if abs(total - 1.0) > 1e-6:
+                raise ValueError(
+                    f"edge {edge_id}: cost histogram mass is {total!r}, not 1"
+                )
+            costs[int(edge_id)] = DiscreteDistribution(int(offset), probs)
+        return cls(
+            costs=costs,
+            slice_name=data.get("slice"),
+            source=data.get("source", "feed"),
+        )

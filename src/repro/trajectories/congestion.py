@@ -287,6 +287,54 @@ class CongestionModel:
         self._marginal_cache[edge.id] = dist
         return dist
 
+    def slice_marginal(
+        self, edge: Edge, weights: Sequence[float]
+    ) -> DiscreteDistribution:
+        """Edge marginal under a non-stationary congestion-state mix.
+
+        Time-of-day cost-table slices (peak / off-peak / night; see
+        :mod:`repro.service.scenarios`) are the same conditional edge
+        distributions mixed with a *slice-specific* state weighting instead
+        of the stationary ``pi`` — rush hour loads the heavy states, night
+        collapses onto free flow.  ``weights`` must have one non-negative
+        entry per congestion state with positive sum (normalised here).
+        """
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (self.config.num_states,):
+            raise ValueError(
+                f"weights must have one entry per congestion state "
+                f"({self.config.num_states}), got shape {w.shape}"
+            )
+        if np.any(w < 0) or not np.all(np.isfinite(w)) or float(w.sum()) <= 0:
+            raise ValueError(
+                "weights must be non-negative, finite, with positive sum"
+            )
+        components = [
+            self.edge_state_distribution(edge, s)
+            for s in range(self.config.num_states)
+        ]
+        return mixture(components, w / float(w.sum()))
+
+    def cost_update(
+        self, edges: Sequence[Edge], state: int
+    ) -> dict[int, DiscreteDistribution]:
+        """Per-edge histogram deltas for one congestion feed event.
+
+        The adapter behind :meth:`repro.service.CostUpdate.from_congestion`:
+        a feed reporting that ``edges`` (an incident corridor, say) are
+        currently in latent ``state`` translates into the state-conditioned
+        histograms routing should serve until the next report.  The returned
+        mapping feeds :meth:`repro.core.costs.EdgeCostTable.apply_deltas`
+        directly (one version bump for the whole event).
+        """
+        if not 0 <= state < self.config.num_states:
+            raise ValueError(f"state {state} out of range")
+        if len(edges) == 0:
+            raise ValueError("a cost update needs at least one edge")
+        return {
+            edge.id: self.edge_state_distribution(edge, state) for edge in edges
+        }
+
     # ------------------------------------------------------------------
     # Exact joints and path distributions
     # ------------------------------------------------------------------

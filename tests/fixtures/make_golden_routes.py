@@ -5,7 +5,7 @@ deterministic world so that any behavioural drift in the search — pruning,
 dominance, convolution, tie-breaking — fails loudly in
 ``tests/routing/test_golden_routes.py``.
 
-Two files are produced next to this script:
+Three files are produced next to this script:
 
 * ``golden_world.json`` — the network (``network_to_dict`` format), the
   grid resolution and every edge's cost distribution.  The test rebuilds
@@ -14,9 +14,18 @@ Two files are produced next to this script:
 * ``golden_routes.json`` — expected answers: single-budget ``pbr`` routes,
   multi-budget vectors (verified at generation time to match per-budget
   ``pbr`` runs, route and probability), and k-best frontiers.
+* ``golden_service.json`` — a serving-layer trace: a fixed wire-protocol
+  request sequence (repeated queries, one live cost update, a stats read)
+  plus the expected response skeletons — answers *and* the cache hit/miss
+  pattern and cost-version tags.  ``tests/service/test_golden_service.py``
+  replays the sequence against a fresh ``RoutingService`` over the golden
+  world; any drift in answers, cache behaviour or version tagging fails
+  there.  The cost-update document is embedded verbatim in the trace, so
+  the replay needs no congestion model.
 
 Update procedure (only after an intentional behaviour change, with the
-diff reviewed route by route)::
+diff reviewed route by route — for the service trace, hit/miss by
+hit/miss)::
 
     PYTHONPATH=src python tests/fixtures/make_golden_routes.py
 
@@ -31,6 +40,7 @@ from repro.core import ConvolutionModel, EdgeCostTable
 from repro.network import grid_network
 from repro.network.io import network_to_dict
 from repro.routing import RoutingEngine, RoutingQuery
+from repro.service import CostUpdate, RoutingService
 from repro.trajectories import CongestionModel
 
 FIXTURE_DIR = Path(__file__).resolve().parent
@@ -61,14 +71,25 @@ KBEST_CASES = [
     (12, 0, 45, 2),
 ]
 
+#: Service-trace query sequence (source, target, budget): repeats pin the
+#: hit/miss pattern before the cost update strands every entry.
+SERVICE_SEQUENCE = [
+    (0, 24, 40),
+    (0, 24, 40),
+    (2, 22, 38),
+    (0, 24, 40),
+    (2, 22, 38),
+]
+
 
 def build_world():
+    """The one golden-world definition; every fixture derives from it."""
     network = grid_network(5, 5, seed=2)
     traffic = CongestionModel(network, seed=3)
     costs = EdgeCostTable(network, resolution=5.0)
     for edge in network.edges:
         costs.set_cost(edge.id, traffic.edge_marginal(edge))
-    return network, costs
+    return network, costs, traffic
 
 
 def serialise_world(network, costs) -> dict:
@@ -93,8 +114,85 @@ def route_payload(result) -> dict:
     }
 
 
+def make_service_trace() -> dict:
+    """Record the golden serving trace on a fresh copy of the world.
+
+    The trace interleaves repeated queries (hits), one congestion update
+    (heavy state on the first answer's path — strands every cached entry),
+    post-update repeats and a stats read.  Expectations pin the answer, the
+    hit/miss bit and the cost-version tag of every response.  The world is
+    a fresh :func:`build_world` copy: the update must not leak into the
+    tables the route goldens were recorded on.
+    """
+    network, costs, traffic = build_world()
+    service = RoutingService(network, ConvolutionModel(costs))
+
+    requests: list[dict] = []
+    expect: list[dict] = []
+
+    def replay(request: dict) -> dict:
+        response = service.handle_request(request)
+        assert response["ok"], response
+        requests.append(request)
+        return response
+
+    def expect_route(response: dict) -> None:
+        expect.append(
+            {
+                "op": "route",
+                "cache_hit": response["cache_hit"],
+                "cost_version": response["cost_version"],
+                "found": response["result"]["found"],
+                "path": response["result"]["path"],
+                "probability": response["result"]["probability"],
+            }
+        )
+
+    for source, target, budget in SERVICE_SEQUENCE:
+        query = {"source": source, "target": target, "budget": budget}
+        expect_route(replay({"op": "route", "query": query}))
+
+    # One live update: the first served route's corridor goes to the
+    # heaviest congestion state.  Embedding the document keeps the replay
+    # model-free.
+    first_path = [network.edge(edge_id) for edge_id in expect[0]["path"]]
+    update = CostUpdate.from_congestion(
+        traffic, first_path, traffic.config.num_states - 1
+    )
+    response = replay({"op": "apply_update", "update": update.to_dict()})
+    expect.append(
+        {
+            "op": "apply_update",
+            "cost_version": response["cost_version"],
+            "num_edges": response["num_edges"],
+        }
+    )
+
+    # Every pre-update entry must now be stale: same queries, all misses,
+    # new version tags — then one more repeat to prove re-warming.
+    for source, target, budget in [*SERVICE_SEQUENCE[:3], SERVICE_SEQUENCE[0]]:
+        query = {"source": source, "target": target, "budget": budget}
+        expect_route(replay({"op": "route", "query": query}))
+
+    response = replay({"op": "stats"})
+    expect.append(
+        {
+            "op": "stats",
+            "cache_hits": response["cache_hits"],
+            "cache_misses": response["cache_misses"],
+            "hit_rate": response["hit_rate"],
+        }
+    )
+    return {
+        "comment": "Regenerate with tests/fixtures/make_golden_routes.py "
+        "(see its docstring); never edit by hand.",
+        "requests": requests,
+        "expect": expect,
+    }
+
+
 def main() -> None:
-    network, costs = build_world()
+    network, costs, _ = build_world()
     engine = RoutingEngine(network, ConvolutionModel(costs))
 
     pbr = []
@@ -163,9 +261,14 @@ def main() -> None:
         )
         + "\n"
     )
+    trace = make_service_trace()
+    (FIXTURE_DIR / "golden_service.json").write_text(
+        json.dumps(trace, indent=1) + "\n"
+    )
     print(
         f"wrote {len(pbr)} pbr, {len(multi)} multi-budget, "
-        f"{len(kbest)} k-best golden cases"
+        f"{len(kbest)} k-best golden cases, "
+        f"{len(trace['requests'])} service-trace requests"
     )
 
 

@@ -1,6 +1,7 @@
 """Tests for the RoutingEngine facade: strategies, batch, stream, wire format."""
 
 import json
+import multiprocessing
 
 import numpy as np
 import pytest
@@ -517,6 +518,66 @@ class TestRouteManyWorkers:
         batch = engine.route_many(self._queries(), workers=1)
         serial = engine.route_many(self._queries())
         assert [r.path for r in batch] == [r.path for r in serial]
+
+
+class TestRouteManyEdgeCases:
+    """The sharded path under degenerate inputs and mid-shard failures."""
+
+    def test_empty_batch_with_workers(self, engine):
+        batch = engine.route_many([], workers=4)
+        assert len(batch) == 0
+        assert batch.stats.labels_generated == 0
+        assert batch.stats.completed
+
+    def test_workers_far_beyond_target_groups(self, engine):
+        # Two target groups cannot occupy more than two shards; a huge
+        # worker request must neither crash nor change answers or stats.
+        queries = [RoutingQuery(s, t, 40 + s) for s, t in
+                   [(0, 24), (1, 24), (5, 3), (6, 3)]]
+        parallel = engine.route_many(queries, workers=64)
+        serial = engine.route_many(queries)
+        assert [r.path for r in parallel] == [r.path for r in serial]
+        assert parallel.stats.labels_generated == serial.stats.labels_generated
+        assert parallel.num_found == serial.num_found
+
+    def test_worker_validation_error_surfaces(self, engine):
+        # kbest validates k inside the worker: the pool must re-raise the
+        # failure in the parent instead of hanging or answering partially.
+        queries = [RoutingQuery(0, 24, 40), RoutingQuery(5, 3, 35)]
+        with pytest.raises(ValueError, match="k=<positive int>"):
+            engine.route_many(queries, strategy="kbest", workers=2)
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="test-local strategies reach pool workers only via fork",
+    )
+    def test_worker_raising_mid_shard_surfaces_the_error(self, engine):
+        @register_strategy("explode_on_target_3")
+        class ExplodeOnTarget3(RoutingStrategy):
+            """Succeeds until it meets target 3 partway through a shard."""
+
+            def route(self, eng, query, *, time_limit_seconds=None):
+                if query.target == 3:
+                    raise RuntimeError("boom at target 3")
+                return eng.route(query, strategy="pbr")
+
+        # Target 3's group lands mid-shard (groups pack largest-first, and
+        # both shards hold several groups), so the worker fails *after*
+        # producing earlier answers — exactly the partial-shard case.
+        queries = [
+            RoutingQuery(0, 24, 40),
+            RoutingQuery(1, 24, 41),
+            RoutingQuery(5, 3, 35),
+            RoutingQuery(20, 4, 50),
+            RoutingQuery(2, 22, 38),
+        ]
+        try:
+            with pytest.raises(RuntimeError, match="boom at target 3"):
+                engine.route_many(
+                    queries, strategy="explode_on_target_3", workers=2
+                )
+        finally:
+            engine_module._STRATEGIES.pop("explode_on_target_3", None)
 
 
 class TestBatchOutcomeAccounting:

@@ -1,0 +1,804 @@
+"""Service-grade tests for the RoutingService serving layer.
+
+The serving contract locked down here:
+
+* a cache **hit bit-equals the miss** that populated it (and both equal a
+  cold engine's answer);
+* **any** ``apply_cost_update`` strictly invalidates — the next answer
+  matches a cold engine built on the updated table, and other slices keep
+  their hot entries;
+* **eviction never changes answers** — a pathologically small cache serves
+  exactly what an uncached engine serves;
+* departure-time requests select the scheduled slice; the wire protocol
+  answers every request (errors as documents, not tracebacks).
+"""
+
+import json
+
+import pytest
+
+from repro.core import ConvolutionModel, EdgeCostTable
+from repro.network import grid_network
+from repro.routing import RoutingEngine, RoutingQuery
+from repro.service import (
+    DAY_SECONDS,
+    CostUpdate,
+    ResultCache,
+    RoutingService,
+    freeze_kwargs,
+    time_sliced_cost_tables,
+)
+from repro.trajectories import CongestionModel
+
+QUERY = RoutingQuery(0, 24, 40)
+
+
+@pytest.fixture(scope="module")
+def world():
+    network = grid_network(5, 5, seed=2)
+    model = CongestionModel(network, seed=3)
+    costs = EdgeCostTable(network, resolution=5.0)
+    for edge in network.edges:
+        costs.set_cost(edge.id, model.edge_marginal(edge))
+    return network, model, costs
+
+
+def clone_table(network, costs):
+    """An independent cost table with identical observed histograms."""
+    assert costs.network is network
+    return costs.copy()
+
+
+def fresh_service(world, **kwargs):
+    network, _, costs = world
+    return RoutingService(
+        network, ConvolutionModel(clone_table(network, costs)), **kwargs
+    )
+
+
+def cold_answer(network, costs, query, **route_kwargs):
+    """The reference: a brand-new engine over an identical table."""
+    engine = RoutingEngine(network, ConvolutionModel(clone_table(network, costs)))
+    return engine.route(query, **route_kwargs)
+
+
+def assert_same_answer(mine, reference, where=""):
+    assert mine.found == reference.found, where
+    assert [e.id for e in mine.path] == [e.id for e in reference.path], where
+    assert mine.probability == reference.probability, where
+    assert mine.distribution == reference.distribution, where
+
+
+# ----------------------------------------------------------------------
+# The cache itself
+# ----------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_get_put_and_counters(self):
+        cache = ResultCache(max_entries=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert (cache.hits, cache.misses, cache.evictions) == (1, 1, 0)
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order_respects_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_none_is_the_miss_sentinel(self):
+        cache = ResultCache()
+        with pytest.raises(ValueError, match="sentinel"):
+            cache.put("key", None)
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True])
+    def test_bad_max_entries_rejected(self, bad):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(max_entries=bad)
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_freeze_kwargs_canonicalises_wire_and_native_forms(self):
+        assert freeze_kwargs({"budgets": [20, 40]}) == freeze_kwargs(
+            {"budgets": (20, 40)}
+        )
+        assert freeze_kwargs({"k": 3}) != freeze_kwargs({"k": 4})
+        assert freeze_kwargs({}) == ()
+
+    def test_freeze_kwargs_rejects_unhashable_leaves(self):
+        with pytest.raises(TypeError):
+            freeze_kwargs({"estimator": object.__new__(bytearray)})
+
+
+# ----------------------------------------------------------------------
+# Hit bit-equals miss
+# ----------------------------------------------------------------------
+
+
+class TestCacheHitEqualsMiss:
+    def test_hit_is_the_identical_answer(self, world):
+        service = fresh_service(world)
+        miss = service.route(QUERY)
+        hit = service.route(QUERY)
+        assert not miss.cache_hit and hit.cache_hit
+        assert hit.result is miss.result  # bit-equal by construction
+        network, _, costs = world
+        assert_same_answer(hit.result, cold_answer(network, costs, QUERY))
+
+    def test_hit_matches_cold_engine_for_every_strategy(self, world):
+        network, _, costs = world
+        service = fresh_service(world)
+        cases = [
+            ("pbr", {}),
+            ("expected_time", {}),
+            ("kbest", {"k": 2}),
+            ("multi_budget", {"budgets": (20, 40)}),
+        ]
+        for strategy, kwargs in cases:
+            first = service.route(QUERY, strategy=strategy, **kwargs)
+            second = service.route(QUERY, strategy=strategy, **kwargs)
+            assert not first.cache_hit and second.cache_hit, strategy
+            reference = cold_answer(
+                network, costs, QUERY, strategy=strategy, **kwargs
+            )
+            if strategy == "kbest":
+                for mine, ref in zip(second.result.routes, reference.routes):
+                    assert_same_answer(mine, ref, strategy)
+            elif strategy == "multi_budget":
+                for mine, ref in zip(second.result.results, reference.results):
+                    assert_same_answer(mine, ref, strategy)
+            else:
+                assert_same_answer(second.result, reference, strategy)
+
+    def test_distinct_budgets_and_kwargs_are_distinct_entries(self, world):
+        service = fresh_service(world)
+        service.route(QUERY)
+        other_budget = service.route(RoutingQuery(0, 24, 41))
+        other_kwargs = service.route(QUERY, strategy="kbest", k=2)
+        assert not other_budget.cache_hit
+        assert not other_kwargs.cache_hit
+
+    def test_time_limited_requests_bypass_the_cache(self, world):
+        service = fresh_service(world)
+        first = service.route(QUERY, time_limit_seconds=30.0)
+        second = service.route(QUERY, time_limit_seconds=30.0)
+        assert not first.cache_hit and not second.cache_hit
+        stats = service.stats()
+        assert stats.cache_hits == 0 and stats.cache_misses == 0
+        assert stats.requests == 2
+
+    def test_wire_kwargs_hit_native_entries(self, world):
+        """A JSON request (lists) must hit an entry cached natively (tuples)."""
+        service = fresh_service(world)
+        native = service.route(QUERY, strategy="multi_budget", budgets=(20, 40))
+        wire = service.handle_request(
+            {
+                "op": "route",
+                "query": QUERY.to_dict(),
+                "strategy": "multi_budget",
+                "kwargs": {"budgets": [20, 40]},
+            }
+        )
+        assert not native.cache_hit
+        assert wire["ok"] and wire["cache_hit"]
+
+
+# ----------------------------------------------------------------------
+# Update invalidation
+# ----------------------------------------------------------------------
+
+
+class TestUpdateInvalidation:
+    def _heavy_update(self, world, path):
+        _, model, _ = world
+        heavy = len(model.config.multipliers) - 1
+        return CostUpdate.from_congestion(model, list(path), heavy)
+
+    def test_any_update_strictly_invalidates(self, world):
+        network, _, costs = world
+        service = fresh_service(world)
+        before = service.route(QUERY)
+        update = self._heavy_update(world, before.result.path)
+        version = service.apply_cost_update(update)
+        after = service.route(QUERY)
+        assert not after.cache_hit
+        assert after.cost_version == version > before.cost_version
+        # The fresh answer must match a cold engine on the *updated* table.
+        updated = clone_table(network, costs)
+        updated.apply_deltas(dict(update.costs))
+        reference = RoutingEngine(network, ConvolutionModel(updated)).route(QUERY)
+        assert_same_answer(after.result, reference)
+        # And the update genuinely changed the answer (the congested grid
+        # is symmetric, so the detour can tie on probability — but it must
+        # at least reroute).
+        assert (
+            [e.id for e in after.result.path] != [e.id for e in before.result.path]
+            or after.result.probability != before.result.probability
+        )
+
+    def test_stale_answers_stay_tagged_with_their_version(self, world):
+        service = fresh_service(world)
+        before = service.route(QUERY)
+        service.apply_cost_update(self._heavy_update(world, before.result.path))
+        after = service.route(QUERY)
+        assert before.cost_version < after.cost_version
+        # The pre-swap object is untouched — consumers holding it can tell
+        # exactly which table produced it.
+        assert before.result.probability == before.result.probability
+
+    def test_update_via_raw_mapping(self, world):
+        service = fresh_service(world)
+        before = service.route(QUERY)
+        update = self._heavy_update(world, before.result.path)
+        service.apply_cost_update(dict(update.costs))
+        assert not service.route(QUERY).cache_hit
+
+    def test_update_to_one_slice_keeps_the_other_hot(self, world):
+        network, model, _ = world
+        tables = time_sliced_cost_tables(network, model)
+        service = RoutingService.from_time_slices(network, tables)
+        service.route(QUERY, slice_name="peak")
+        service.route(QUERY, slice_name="night")
+        peak_route = service.route(QUERY, slice_name="peak")
+        assert peak_route.cache_hit
+        update = self._heavy_update(world, peak_route.result.path)
+        service.apply_cost_update(update, slice_name="peak")
+        assert not service.route(QUERY, slice_name="peak").cache_hit
+        assert service.route(QUERY, slice_name="night").cache_hit
+
+    def test_update_unknown_slice_rejected(self, world):
+        service = fresh_service(world)
+        update = self._heavy_update(world, service.route(QUERY).result.path)
+        with pytest.raises(KeyError, match="unknown slice"):
+            service.apply_cost_update(update, slice_name="nope")
+
+    def test_apply_deltas_is_atomic(self, world):
+        network, model, costs = world
+        table = clone_table(network, costs)
+        version = table.version
+        edge = network.edges[0]
+        good = model.cost_update([edge], 0)
+        with pytest.raises(IndexError):
+            table.apply_deltas({**good, 10**9: next(iter(good.values()))})
+        assert table.version == version  # nothing applied, no bump
+        assert table.cost(edge) == costs.cost(edge)
+
+    def test_apply_deltas_bumps_once_per_batch(self, world):
+        network, model, costs = world
+        table = clone_table(network, costs)
+        version = table.version
+        new_version = table.apply_deltas(model.cost_update(network.edges[:7], 1))
+        assert new_version == table.version == version + 1
+
+    def test_negative_edge_ids_rejected_everywhere(self, world):
+        """Python list indexing wraps negative ids onto real edges — a feed
+        typo must fail loudly, not install costs under dead keys."""
+        network, model, costs = world
+        table = clone_table(network, costs)
+        version = table.version
+        dist = table.cost(network.edges[0])
+        with pytest.raises(IndexError):
+            table.apply_deltas({-3: dist})
+        with pytest.raises(IndexError):
+            table.set_cost(-3, dist)
+        assert table.version == version
+        with pytest.raises(TypeError, match="non-negative"):
+            CostUpdate(costs={-3: dist})
+        service = fresh_service(world)
+        version_before = service.cost_version()
+        response = service.handle_request(
+            {
+                "op": "apply_update",
+                "update": {
+                    "kind": "cost_update",
+                    "costs": {
+                        "-3": {
+                            "offset": dist.offset,
+                            "probs": [float(p) for p in dist.probs],
+                        }
+                    },
+                },
+            }
+        )
+        assert response["ok"] is False
+        assert service.cost_version() == version_before  # nothing applied
+
+
+# ----------------------------------------------------------------------
+# Eviction
+# ----------------------------------------------------------------------
+
+
+class TestEvictionNeverChangesAnswers:
+    def test_tiny_cache_serves_reference_answers(self, world):
+        network, _, costs = world
+        service = fresh_service(world, max_cache_entries=2)
+        reference = RoutingEngine(
+            network, ConvolutionModel(clone_table(network, costs))
+        )
+        rotation = [
+            RoutingQuery(0, 24, 40),
+            RoutingQuery(5, 3, 35),
+            RoutingQuery(20, 4, 50),
+            RoutingQuery(2, 22, 38),
+        ]
+        for _ in range(3):
+            for query in rotation:
+                served = service.route(query)
+                assert_same_answer(served.result, reference.route(query), query)
+        stats = service.stats()
+        assert stats.cache_evictions > 0  # the bound actually bit
+        assert stats.cache_entries <= 2
+
+
+# ----------------------------------------------------------------------
+# Departure-time scenarios
+# ----------------------------------------------------------------------
+
+
+class TestDepartureTimeScenarios:
+    @pytest.fixture(scope="class")
+    def sliced(self, world):
+        network, model, _ = world
+        return RoutingService.from_time_slices(
+            network, time_sliced_cost_tables(network, model)
+        )
+
+    @pytest.mark.parametrize(
+        "hour, expected",
+        [(3, "night"), (6.5, "off_peak"), (8, "peak"), (12, "off_peak"),
+         (17, "peak"), (23, "night")],
+    )
+    def test_schedule_selects_the_expected_slice(self, sliced, hour, expected):
+        served = sliced.route_at(QUERY, hour * 3600.0)
+        assert served.slice_name == expected
+
+    def test_epoch_style_departures_wrap_modulo_day(self, sliced):
+        assert (
+            sliced.route_at(QUERY, 8 * 3600.0).slice_name
+            == sliced.route_at(QUERY, 5 * DAY_SECONDS + 8 * 3600.0).slice_name
+            == "peak"
+        )
+
+    def test_rush_hour_is_never_more_reliable_than_night(self, sliced):
+        peak = sliced.route_at(QUERY, 8 * 3600.0)
+        night = sliced.route_at(QUERY, 3 * 3600.0)
+        assert peak.result.probability <= night.result.probability + 1e-12
+
+    def test_slice_caches_are_independent(self, sliced):
+        sliced.clear_cache()
+        first = sliced.route_at(QUERY, 8 * 3600.0)
+        same_slice_hit = sliced.route_at(QUERY, 17 * 3600.0)  # evening peak
+        other_slice = sliced.route_at(QUERY, 3 * 3600.0)
+        assert not first.cache_hit
+        assert same_slice_hit.cache_hit  # both peaks share one table
+        assert not other_slice.cache_hit
+
+    def test_route_at_without_schedule_rejected(self, world):
+        service = fresh_service(world)
+        with pytest.raises(ValueError, match="ScenarioSchedule"):
+            service.route_at(QUERY, 8 * 3600.0)
+
+    def test_slice_answers_match_dedicated_engines(self, world):
+        network, model, _ = world
+        tables = time_sliced_cost_tables(network, model)
+        service = RoutingService.from_time_slices(network, tables)
+        for name, table in tables.items():
+            served = service.route(QUERY, slice_name=name)
+            reference = RoutingEngine(network, ConvolutionModel(table)).route(QUERY)
+            assert_same_answer(served.result, reference, name)
+
+    def test_schedule_must_only_name_known_slices(self, world):
+        network, model, _ = world
+        tables = time_sliced_cost_tables(
+            network, model, weights={"day": (0.5, 0.4, 0.1)}
+        )
+        with pytest.raises(ValueError, match="no cost table"):
+            RoutingService.from_time_slices(network, tables)
+
+    def test_duplicate_slice_rejected(self, world):
+        network, _, costs = world
+        service = fresh_service(world)
+        with pytest.raises(ValueError, match="already registered"):
+            service.add_slice(
+                service.default_slice,
+                ConvolutionModel(clone_table(network, costs)),
+            )
+
+
+# ----------------------------------------------------------------------
+# Batch serving
+# ----------------------------------------------------------------------
+
+
+class TestBatchServing:
+    BATCH = [
+        RoutingQuery(0, 24, 40),
+        RoutingQuery(5, 3, 35),
+        RoutingQuery(20, 4, 50),
+        RoutingQuery(0, 24, 41),
+    ]
+
+    def test_second_batch_is_all_hits_and_identical(self, world):
+        service = fresh_service(world)
+        first = service.route_many(self.BATCH)
+        second = service.route_many(self.BATCH)
+        assert (first.cache_hits, first.cache_misses) == (0, 4)
+        assert (second.cache_hits, second.cache_misses) == (4, 0)
+        for mine, reference in zip(second, first):
+            assert mine is reference
+        # Hits did no searching: the second batch's stats are empty.
+        assert second.batch.stats.labels_generated == 0
+
+    def test_partial_hits_route_only_the_misses(self, world):
+        network, _, costs = world
+        service = fresh_service(world)
+        service.route(self.BATCH[0])
+        service.route(self.BATCH[2])
+        served = service.route_many(self.BATCH)
+        assert (served.cache_hits, served.cache_misses) == (2, 2)
+        reference = RoutingEngine(
+            network, ConvolutionModel(clone_table(network, costs))
+        ).route_many(self.BATCH)
+        for mine, ref in zip(served, reference):
+            assert_same_answer(mine, ref)
+
+    def test_empty_batch(self, world):
+        service = fresh_service(world)
+        served = service.route_many([])
+        assert len(served) == 0
+        assert (served.cache_hits, served.cache_misses) == (0, 0)
+        assert served.batch.stats.completed
+
+    def test_update_invalidates_batch_entries_too(self, world):
+        service = fresh_service(world)
+        first = service.route_many(self.BATCH)
+        update = TestUpdateInvalidation()._heavy_update(world, first[0].path)
+        service.apply_cost_update(update)
+        after = service.route_many(self.BATCH)
+        assert after.cache_hits == 0
+        assert after.cost_version > first.cost_version
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+
+
+class TestWireProtocol:
+    def test_route_round_trip_over_json(self, world):
+        network, _, costs = world
+        service = fresh_service(world)
+        response = json.loads(
+            service.handle_json(
+                json.dumps({"op": "route", "query": QUERY.to_dict()})
+            )
+        )
+        assert response["ok"] and response["kind"] == "served"
+        reference = cold_answer(network, costs, QUERY)
+        assert response["result"]["probability"] == reference.probability
+        assert response["result"]["path"] == [e.id for e in reference.path]
+
+    def test_route_at_op(self, world):
+        network, model, _ = world
+        service = RoutingService.from_time_slices(
+            network, time_sliced_cost_tables(network, model)
+        )
+        response = service.handle_request(
+            {
+                "op": "route_at",
+                "query": QUERY.to_dict(),
+                "departure_time_seconds": 8 * 3600.0,
+            }
+        )
+        assert response["ok"] and response["slice"] == "peak"
+
+    def test_route_many_op(self, world):
+        service = fresh_service(world)
+        request = {
+            "op": "route_many",
+            "queries": [QUERY.to_dict(), RoutingQuery(5, 3, 35).to_dict()],
+        }
+        first = service.handle_request(request)
+        second = service.handle_request(request)
+        assert first["ok"] and first["kind"] == "served_batch"
+        assert first["cache_misses"] == 2
+        assert second["cache_hits"] == 2
+        assert second["batch"]["results"] == first["batch"]["results"]
+
+    def test_apply_update_op_and_post_update_answer(self, world):
+        network, _, costs = world
+        service = fresh_service(world)
+        before = service.route(QUERY)
+        update = TestUpdateInvalidation()._heavy_update(
+            world, before.result.path
+        )
+        response = service.handle_request(
+            {"op": "apply_update", "update": update.to_dict()}
+        )
+        assert response["ok"] and response["kind"] == "update_applied"
+        assert response["num_edges"] == len(update)
+        after = service.handle_request(
+            {"op": "route", "query": QUERY.to_dict()}
+        )
+        assert after["cost_version"] == response["cost_version"]
+        updated = clone_table(network, costs)
+        updated.apply_deltas(dict(update.costs))
+        reference = RoutingEngine(network, ConvolutionModel(updated)).route(QUERY)
+        assert after["result"]["probability"] == reference.probability
+
+    def test_stats_op(self, world):
+        service = fresh_service(world)
+        service.route(QUERY)
+        service.route(QUERY)
+        response = service.handle_request({"op": "stats"})
+        assert response["ok"] and response["kind"] == "service_stats"
+        assert response["hit_rate"] == 0.5
+        assert response["strategies"]["pbr"]["requests"] == 2
+
+    @pytest.mark.parametrize(
+        "request_document, fragment",
+        [
+            ({"op": "warp"}, "unknown op"),
+            ({}, "unknown op"),
+            ({"op": "route"}, "KeyError"),
+            ({"op": "route", "query": {"source": 0}}, "KeyError"),
+            (
+                {"op": "route", "query": {"source": 0, "target": 0, "budget": 5}},
+                "differ",
+            ),
+            (
+                {
+                    "op": "route",
+                    "query": QUERY.to_dict(),
+                    "strategy": "mystery",
+                },
+                "unknown routing strategy",
+            ),
+            (
+                {"op": "route", "query": QUERY.to_dict(), "slice": "mars"},
+                "unknown slice",
+            ),
+        ],
+    )
+    def test_bad_requests_become_error_documents(
+        self, world, request_document, fragment
+    ):
+        service = fresh_service(world)
+        response = service.handle_request(request_document)
+        assert response["ok"] is False
+        assert fragment in response["error"]
+
+    def test_bad_json_becomes_error_document(self, world):
+        service = fresh_service(world)
+        assert json.loads(service.handle_json("{nope"))["ok"] is False
+        assert json.loads(service.handle_json("[1, 2]"))["ok"] is False
+
+    def test_route_at_rejects_an_explicit_slice(self, world):
+        """A conflicting 'slice' field must error, not be silently dropped."""
+        network, model, _ = world
+        service = RoutingService.from_time_slices(
+            network, time_sliced_cost_tables(network, model)
+        )
+        response = service.handle_request(
+            {
+                "op": "route_at",
+                "query": QUERY.to_dict(),
+                "departure_time_seconds": 8 * 3600.0,
+                "slice": "night",
+            }
+        )
+        assert response["ok"] is False
+        assert "schedule" in response["error"]
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ({"offset": -40, "probs": [1.0]}, "negative"),
+            ({"offset": 3.7, "probs": [1.0]}, "grid integer"),
+        ],
+    )
+    def test_bad_offsets_rejected_at_the_update_boundary(
+        self, world, payload, fragment
+    ):
+        """Negative or fractional travel-time offsets would corrupt the
+        search's pruning assumptions; the feed boundary rejects them."""
+        service = fresh_service(world)
+        version = service.cost_version()
+        response = service.handle_request(
+            {
+                "op": "apply_update",
+                "update": {"kind": "cost_update", "costs": {"0": payload}},
+            }
+        )
+        assert response["ok"] is False and fragment in response["error"]
+        assert service.cost_version() == version
+
+    def test_unit_mass_enforced_at_the_update_boundary(self, world):
+        """A truncated feed histogram must be rejected, not installed (or
+        silently renormalised) into the live table."""
+        service = fresh_service(world)
+        version = service.cost_version()
+        response = service.handle_request(
+            {
+                "op": "apply_update",
+                "update": {
+                    "kind": "cost_update",
+                    "costs": {"0": {"offset": 1, "probs": [0.3, 0.3]}},
+                },
+            }
+        )
+        assert response["ok"] is False and "mass" in response["error"]
+        assert service.cost_version() == version
+
+    def test_reserved_kwargs_rejected_not_smuggled(self, world):
+        """kwargs must not silently override top-level routing controls."""
+        service = fresh_service(world)
+        for smuggled in (
+            {"time_limit_seconds": 0.001},
+            {"strategy": "kbest"},
+            {"workers": 2},
+        ):
+            response = service.handle_request(
+                {"op": "route", "query": QUERY.to_dict(), "kwargs": smuggled}
+            )
+            assert response["ok"] is False, smuggled
+            assert "reserved" in response["error"]
+        # …and the cacheable fast path stayed intact.
+        assert service.handle_request(
+            {"op": "route", "query": QUERY.to_dict()}
+        )["ok"]
+
+    def test_any_exception_becomes_an_error_document(self, world):
+        """The always-answer contract covers engine-level RuntimeErrors."""
+        from repro.routing import RoutingStrategy, register_strategy
+        from repro.routing import engine as engine_module
+
+        @register_strategy("explode_for_service_test")
+        class Explode(RoutingStrategy):
+            def route(self, eng, query, *, time_limit_seconds=None):
+                raise RuntimeError("pool worker died")
+
+        try:
+            service = fresh_service(world)
+            response = service.handle_request(
+                {
+                    "op": "route",
+                    "query": QUERY.to_dict(),
+                    "strategy": "explode_for_service_test",
+                }
+            )
+            assert response["ok"] is False
+            assert "RuntimeError: pool worker died" in response["error"]
+        finally:
+            engine_module._STRATEGIES.pop("explode_for_service_test", None)
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+
+
+class TestServiceStats:
+    def test_counters_tell_the_serving_story(self, world):
+        service = fresh_service(world)
+        service.route(QUERY)
+        service.route(QUERY)
+        service.route(QUERY, strategy="kbest", k=2)
+        before = service.route(QUERY)
+        update = TestUpdateInvalidation()._heavy_update(
+            world, before.result.path
+        )
+        service.apply_cost_update(update)
+        service.route(QUERY)
+        stats = service.stats()
+        assert stats.requests == 5
+        assert stats.cache_hits == 2  # second pbr + the pre-update repeat
+        assert stats.cache_misses == 3
+        assert stats.updates_applied == 1
+        assert stats.hit_rate == pytest.approx(0.4)
+        assert set(stats.strategies) == {"pbr", "kbest"}
+        assert stats.strategies["pbr"].requests == 4
+        assert stats.strategies["pbr"].total_seconds > 0
+        assert stats.strategies["pbr"].mean_seconds <= (
+            stats.strategies["pbr"].total_seconds
+        )
+
+    def test_failed_requests_do_not_skew_the_hit_rate(self, world):
+        """A client retrying bad requests must not deflate the hit rate."""
+        service = fresh_service(world)
+        service.route(QUERY)
+        service.route(QUERY)
+        for index in range(5):
+            response = service.handle_request(
+                {
+                    "op": "route",
+                    "query": QUERY.to_dict(),
+                    # Distinct garbage names: a long-lived service must not
+                    # grow a latency entry per attacker-chosen string.
+                    "strategy": f"mystery-{index}",
+                }
+            )
+            assert response["ok"] is False
+        with pytest.raises(ValueError):
+            service.route(QUERY, strategy="kbest")  # k missing
+        stats = service.stats()
+        # Unknown strategies are rejected before any accounting; the
+        # known-but-invalid kbest request counts but refunds its miss.
+        assert stats.requests == 3
+        assert (stats.cache_hits, stats.cache_misses) == (1, 1)
+        assert stats.hit_rate == 0.5
+        assert set(stats.strategies) == {"pbr", "kbest"}
+
+    def test_failed_batch_refunds_its_misses(self, world):
+        service = fresh_service(world)
+        queries = [QUERY, RoutingQuery(5, 3, 35)]
+        with pytest.raises(ValueError):
+            service.route_many(queries, strategy="kbest")  # k missing
+        stats = service.stats()
+        assert stats.requests == 1
+        assert (stats.cache_hits, stats.cache_misses) == (0, 0)
+
+    def test_failed_batch_refunds_its_hits_too(self, world):
+        """Cached members of a failing batch were never served either."""
+        from repro.routing import RoutingStrategy, register_strategy
+        from repro.routing import engine as engine_module
+
+        @register_strategy("explode_on_second_target")
+        class ExplodeOnSecond(RoutingStrategy):
+            def route(self, eng, query, *, time_limit_seconds=None):
+                if query.target == 3:
+                    raise RuntimeError("mid-batch failure")
+                return eng.route(query, strategy="pbr")
+
+        try:
+            service = fresh_service(world)
+            service.route(QUERY, strategy="explode_on_second_target")
+            baseline = service.stats()
+            assert (baseline.cache_hits, baseline.cache_misses) == (0, 1)
+            with pytest.raises(RuntimeError, match="mid-batch"):
+                service.route_many(
+                    [QUERY, RoutingQuery(5, 3, 35)],
+                    strategy="explode_on_second_target",
+                )
+            stats = service.stats()
+            # The batch's hit (QUERY, cached above) and miss both refunded.
+            assert (stats.cache_hits, stats.cache_misses) == (0, 1)
+            assert stats.requests == baseline.requests + 1
+        finally:
+            engine_module._STRATEGIES.pop("explode_on_second_target", None)
+
+    def test_numpy_integer_edge_ids_accepted(self, world):
+        """Edge ids derived from numpy arrays must keep working."""
+        import numpy as np
+
+        network, model, costs = world
+        table = clone_table(network, costs)
+        edge = network.edges[3]
+        dist = model.edge_state_distribution(edge, 1)
+        table.set_cost(np.int64(edge.id), dist)
+        assert table.cost(edge) == dist
+        table.apply_deltas({np.int64(edge.id): model.edge_marginal(edge)})
+        assert table.cost(edge) == model.edge_marginal(edge)
+        update = CostUpdate(costs={np.int64(edge.id): dist})
+        assert update.edge_ids == (edge.id,)
+
+    def test_snapshot_is_detached(self, world):
+        service = fresh_service(world)
+        snapshot = service.stats()
+        service.route(QUERY)
+        assert snapshot.requests == 0
+        assert service.stats().requests == 1

@@ -1,0 +1,321 @@
+"""Property tests: every kind-tagged wire document round-trips exactly.
+
+The serving layer promises ``from_dict(to_dict(x)) == x`` — through a real
+``json.dumps``/``json.loads`` pass, because documents cross a wire, not a
+function call — for every document kind it exchanges: ``route``,
+``multi_budget``, ``kbest``, ``batch`` (including ``None`` unanswered
+members), ``served``, ``served_batch``, ``cost_update``, ``service_stats``
+and ``schedule``.  Hypothesis generates the documents; the deterministic
+profile in ``tests/conftest.py`` keeps failures reproducible.
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network import grid_network
+from repro.routing import (
+    BatchResult,
+    KBestResult,
+    MultiBudgetResult,
+    RoutingQuery,
+    RoutingResult,
+    SearchStats,
+    result_from_dict,
+)
+from repro.service import (
+    DAY_SECONDS,
+    CostUpdate,
+    ScenarioSchedule,
+    ServedBatch,
+    ServedResult,
+    ServiceStats,
+    StrategyLatency,
+    TimeSlice,
+)
+from repro.histograms import DiscreteDistribution
+
+NETWORK = grid_network(4, 4, seed=1)
+NUM_EDGES = len(NETWORK.edges)
+
+
+def json_round_trip(document: dict) -> dict:
+    """Force the document through actual JSON text."""
+    return json.loads(json.dumps(document))
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+vertex_ids = st.integers(min_value=0, max_value=15)
+edge_ids = st.integers(min_value=0, max_value=NUM_EDGES - 1)
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def queries(draw):
+    source = draw(vertex_ids)
+    target = draw(vertex_ids.filter(lambda v: v != source))
+    budget = draw(st.integers(min_value=1, max_value=10_000))
+    return RoutingQuery(source, target, budget)
+
+
+@st.composite
+def distributions(draw):
+    offset = draw(st.integers(min_value=0, max_value=50))
+    probs = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return DiscreteDistribution(offset, probs)
+
+
+@st.composite
+def search_stats(draw):
+    counter = st.integers(min_value=0, max_value=10**6)
+    return SearchStats(
+        labels_generated=draw(counter),
+        labels_expanded=draw(counter),
+        pruned_by_bound=draw(counter),
+        pruned_by_dominance=draw(counter),
+        pruned_unreachable=draw(counter),
+        pivot_updates=draw(counter),
+        runtime_seconds=draw(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+        ),
+        completed=draw(st.booleans()),
+    )
+
+
+@st.composite
+def routing_results(draw, query=None):
+    if query is None:
+        query = draw(queries())
+    path = tuple(
+        NETWORK.edge(edge_id)
+        for edge_id in draw(st.lists(edge_ids, min_size=0, max_size=6))
+    )
+    return RoutingResult(
+        query=query,
+        path=path,
+        distribution=draw(st.none() | distributions()),
+        probability=draw(probabilities),
+        stats=draw(search_stats()),
+    )
+
+
+@st.composite
+def multi_budget_results(draw):
+    budgets = tuple(
+        sorted(
+            draw(
+                st.sets(
+                    st.integers(min_value=1, max_value=10_000),
+                    min_size=1,
+                    max_size=4,
+                )
+            )
+        )
+    )
+    source = draw(vertex_ids)
+    target = draw(vertex_ids.filter(lambda v: v != source))
+    query = RoutingQuery(source, target, budgets[-1])
+    results = tuple(
+        draw(routing_results(query=RoutingQuery(source, target, budget)))
+        for budget in budgets
+    )
+    return MultiBudgetResult(
+        query=query, budgets=budgets, results=results, stats=draw(search_stats())
+    )
+
+
+@st.composite
+def kbest_results(draw):
+    query = draw(queries())
+    routes = tuple(
+        draw(st.lists(routing_results(query=query), min_size=0, max_size=3))
+    )
+    k = draw(st.integers(min_value=max(1, len(routes)), max_value=5))
+    return KBestResult(query=query, k=k, routes=routes, stats=draw(search_stats()))
+
+
+any_answer = st.one_of(routing_results(), multi_budget_results(), kbest_results())
+
+
+@st.composite
+def batch_results(draw):
+    members = tuple(
+        draw(st.lists(st.none() | any_answer, min_size=0, max_size=4))
+    )
+    return BatchResult(results=members, stats=draw(search_stats()))
+
+
+@st.composite
+def service_stats(draw):
+    counter = st.integers(min_value=0, max_value=10**6)
+    strategies = draw(
+        st.dictionaries(
+            st.sampled_from(["pbr", "kbest", "multi_budget", "oracle"]),
+            st.builds(
+                StrategyLatency,
+                requests=counter,
+                total_seconds=st.floats(
+                    min_value=0.0, max_value=1e6, allow_nan=False
+                ),
+            ),
+            max_size=3,
+        )
+    )
+    return ServiceStats(
+        requests=draw(counter),
+        cache_hits=draw(counter),
+        cache_misses=draw(counter),
+        cache_evictions=draw(counter),
+        cache_entries=draw(counter),
+        updates_applied=draw(counter),
+        strategies=strategies,
+    )
+
+
+@st.composite
+def schedules(draw):
+    names = ["peak", "off_peak", "night", "weekend"]
+    breakpoints = sorted(
+        draw(
+            st.sets(
+                st.integers(min_value=1, max_value=DAY_SECONDS - 1),
+                min_size=0,
+                max_size=5,
+            )
+        )
+    )
+    bounds = [0, *breakpoints, DAY_SECONDS]
+    slices = [
+        TimeSlice(draw(st.sampled_from(names)), float(lo), float(hi))
+        for lo, hi in zip(bounds, bounds[1:])
+    ]
+    return ScenarioSchedule(slices)
+
+
+@st.composite
+def cost_updates(draw):
+    ids = draw(st.sets(edge_ids, min_size=1, max_size=5))
+    return CostUpdate(
+        costs={edge_id: draw(distributions()) for edge_id in ids},
+        slice_name=draw(st.none() | st.sampled_from(["peak", "night"])),
+        source=draw(st.sampled_from(["feed", "congestion:state=2", "manual"])),
+    )
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+
+
+class TestKindTaggedRoundTrips:
+    @given(queries())
+    def test_query(self, query):
+        assert RoutingQuery.from_dict(json_round_trip(query.to_dict())) == query
+
+    @given(search_stats())
+    def test_search_stats(self, stats):
+        assert SearchStats.from_dict(json_round_trip(stats.to_dict())) == stats
+
+    @given(routing_results())
+    def test_route(self, result):
+        document = json_round_trip(result.to_dict())
+        assert document["kind"] == "route"
+        assert result_from_dict(document, NETWORK) == result
+
+    @given(multi_budget_results())
+    def test_multi_budget(self, result):
+        document = json_round_trip(result.to_dict())
+        assert document["kind"] == "multi_budget"
+        assert result_from_dict(document, NETWORK) == result
+
+    @given(kbest_results())
+    def test_kbest(self, result):
+        document = json_round_trip(result.to_dict())
+        assert document["kind"] == "kbest"
+        assert result_from_dict(document, NETWORK) == result
+
+    @given(batch_results())
+    def test_batch_including_none_members(self, batch):
+        document = json_round_trip(batch.to_dict())
+        assert document["kind"] == "batch"
+        restored = BatchResult.from_dict(document, NETWORK)
+        assert restored == batch
+        # The module-level dispatcher must accept every kind the package
+        # emits — batch documents included.
+        assert result_from_dict(document, NETWORK) == batch
+        # The outcome counters are derived, so they survive for free — but
+        # they are the serving contract, so pin them explicitly.
+        assert restored.num_found == batch.num_found
+        assert restored.num_no_route == batch.num_no_route
+        assert restored.num_unanswered == batch.num_unanswered
+
+    @given(st.none() | any_answer, st.booleans())
+    def test_served(self, answer, cache_hit):
+        served = ServedResult(
+            result=answer,
+            cache_hit=cache_hit,
+            cost_version=7,
+            slice_name="peak",
+            strategy="pbr",
+        )
+        document = json_round_trip(served.to_dict())
+        assert document["kind"] == "served"
+        assert ServedResult.from_dict(document, NETWORK) == served
+
+    @given(batch_results())
+    def test_served_batch(self, batch):
+        served = ServedBatch(
+            batch=batch,
+            cache_hits=3,
+            cache_misses=len(batch),
+            cost_version=2,
+            slice_name="default",
+            strategy="kbest",
+        )
+        document = json_round_trip(served.to_dict())
+        assert document["kind"] == "served_batch"
+        assert ServedBatch.from_dict(document, NETWORK) == served
+
+    @given(cost_updates())
+    def test_cost_update(self, update):
+        document = json_round_trip(update.to_dict())
+        assert document["kind"] == "cost_update"
+        assert CostUpdate.from_dict(document) == update
+
+    @given(service_stats())
+    def test_service_stats(self, stats):
+        document = json_round_trip(stats.to_dict())
+        assert document["kind"] == "service_stats"
+        assert ServiceStats.from_dict(document) == stats
+
+    @given(schedules())
+    def test_schedule(self, schedule):
+        document = json_round_trip(schedule.to_dict())
+        assert document["kind"] == "schedule"
+        assert ScenarioSchedule.from_dict(document) == schedule
+
+
+class TestDocumentHygiene:
+    """Wire documents must be plain JSON types all the way down."""
+
+    @given(batch_results())
+    def test_batch_document_is_json_serialisable(self, batch):
+        text = json.dumps(batch.to_dict())
+        assert isinstance(text, str)
+
+    @given(queries())
+    def test_unknown_kind_rejected(self, query):
+        document = {"kind": "mystery", "query": query.to_dict()}
+        with pytest.raises(ValueError, match="kind"):
+            result_from_dict(document, NETWORK)

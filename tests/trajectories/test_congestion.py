@@ -276,3 +276,52 @@ class TestSampling:
         assert truth.probs[truth.probs > 1e-9].size == 2
         assert conv.probs[conv.probs > 1e-9].size >= 3
         assert kl_divergence(truth, conv) > 0.3
+
+
+class TestServingAdapters:
+    """The slice-marginal and cost-update feeds the serving layer consumes."""
+
+    def test_slice_marginal_with_stationary_weights_is_the_marginal(self, net, model):
+        edge = net.edges[0]
+        assert model.slice_marginal(edge, model.config.stationary) == (
+            model.edge_marginal(edge)
+        )
+
+    def test_slice_marginal_free_weighting_collapses_to_free_state(self, net, model):
+        edge = net.edges[0]
+        free_only = model.slice_marginal(edge, (1.0, 0.0, 0.0))
+        assert free_only == model.edge_state_distribution(edge, 0)
+
+    def test_heavier_weighting_is_stochastically_slower(self, net, model):
+        edge = net.edges[0]
+        night = model.slice_marginal(edge, (0.92, 0.07, 0.01))
+        peak = model.slice_marginal(edge, (0.25, 0.45, 0.30))
+        assert peak.mean() > night.mean()
+        budget = int(round(night.mean()))
+        assert peak.prob_within(budget) <= night.prob_within(budget) + 1e-12
+
+    def test_slice_marginal_normalises_unnormalised_weights(self, net, model):
+        edge = net.edges[0]
+        assert model.slice_marginal(edge, (2.0, 1.0, 1.0)) == (
+            model.slice_marginal(edge, (0.5, 0.25, 0.25))
+        )
+
+    @pytest.mark.parametrize(
+        "bad", [(0.5, 0.5), (1.0, 0.0, 0.0, 0.0), (-1.0, 1.0, 1.0), (0.0, 0.0, 0.0)]
+    )
+    def test_slice_marginal_rejects_bad_weights(self, net, model, bad):
+        with pytest.raises(ValueError):
+            model.slice_marginal(net.edges[0], bad)
+
+    def test_cost_update_is_the_state_conditioned_histograms(self, net, model):
+        edges = net.edges[:4]
+        update = model.cost_update(edges, 2)
+        assert set(update) == {edge.id for edge in edges}
+        for edge in edges:
+            assert update[edge.id] == model.edge_state_distribution(edge, 2)
+
+    def test_cost_update_rejects_bad_state_or_empty_edges(self, net, model):
+        with pytest.raises(ValueError, match="state"):
+            model.cost_update(net.edges[:2], model.config.num_states)
+        with pytest.raises(ValueError, match="at least one edge"):
+            model.cost_update([], 0)
