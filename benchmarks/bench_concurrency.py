@@ -1,0 +1,215 @@
+"""Concurrent serving: ThreadedFrontend worker pool vs a single-threaded loop.
+
+Two guarantees are locked in here:
+
+* **throughput floor** — on a repeated-OD wire workload (hit rate >= 80 %)
+  where each request carries a small simulated response-delivery stall
+  (the downstream socket write a real frontend overlaps — under CPython's
+  GIL that overlap, plus GIL-releasing native code, is exactly what a
+  thread pool buys), a ``NUM_WORKERS``-thread frontend must sustain at
+  least ``THROUGHPUT_FLOOR``× the aggregate throughput of a
+  single-threaded serving loop over the *same* service code and the same
+  per-request stall;
+* **identity under contention** — with live cost updates racing the
+  request stream through the same pool, every response must match a cold
+  engine built on the cost table at the response's tagged version, no
+  version bump may be lost, and the cache accounting must stay exact.
+
+The CI workflow records this file's timings as ``BENCH_concurrency.json``
+alongside the other benchmark artifacts.
+"""
+
+import time
+
+from repro.core import ConvolutionModel
+from repro.routing import RoutingEngine, RoutingQuery
+from repro.service import CostUpdate, RoutingService, ThreadedFrontend
+
+from conftest import emit
+
+#: Minimum threaded-over-single-threaded aggregate throughput.
+THROUGHPUT_FLOOR = 2.0
+
+#: Minimum cache hit rate the repeated workload must achieve.
+HIT_RATE_FLOOR = 0.80
+
+#: Worker threads in the frontend pool (the acceptance configuration).
+NUM_WORKERS = 4
+
+#: How often each workload query repeats (hit rate = (REPEATS-1)/REPEATS).
+REPEATS = 10
+
+#: Simulated per-response delivery stall (downstream write latency).
+IO_STALL_SECONDS = 0.002
+
+
+def _wire_requests(runner):
+    base = [
+        banded.query
+        for members in runner.workload.values()
+        for banded in members
+    ]
+    return [
+        {"op": "route", "query": query.to_dict()}
+        for _ in range(REPEATS)
+        for query in base
+    ]
+
+
+def _route_payload(response):
+    assert response["ok"], response
+    result = response["result"]
+    return (tuple(result["path"]), result["probability"])
+
+
+def test_threaded_frontend_throughput(benchmark, runner):
+    """The acceptance floor: >= 2x aggregate throughput with 4 workers at
+    >= 80 % hit rate versus single-threaded serving of the same stream."""
+    engine = runner.engine("convolution")
+    requests = _wire_requests(runner)
+
+    # Two identical services over the same warm combiner (read-only here),
+    # so both modes pay the same search costs and neither sees the other's
+    # result cache.  One warm pass keeps first-touch setup out of both
+    # windows — the conservative direction for the floor.
+    single = RoutingService(engine.network, engine.combiner)
+    threaded = RoutingService(engine.network, engine.combiner)
+    unique = len(requests) // REPEATS
+    engine.route_many(
+        [RoutingQuery.from_dict(r["query"]) for r in requests[:unique]]
+    )
+
+    begin = time.perf_counter()
+    single_responses = []
+    for request in requests:
+        single_responses.append(single.handle_request(request))
+        time.sleep(IO_STALL_SECONDS)  # the serial loop eats every stall
+    single_seconds = time.perf_counter() - begin
+
+    def deliver(request, response):
+        time.sleep(IO_STALL_SECONDS)  # the pool overlaps the same stalls
+
+    def serve_threaded():
+        with ThreadedFrontend(
+            threaded, num_workers=NUM_WORKERS, deliver=deliver
+        ) as frontend:
+            return frontend.map_requests(requests)
+
+    begin = time.perf_counter()
+    threaded_responses = benchmark.pedantic(
+        serve_threaded, rounds=1, iterations=1
+    )
+    threaded_seconds = time.perf_counter() - begin
+
+    single_rate = single.stats().hit_rate
+    threaded_rate = threaded.stats().hit_rate
+    speedup = single_seconds / threaded_seconds
+    emit(
+        "Concurrent serving (ThreadedFrontend vs single-threaded loop)",
+        f"{len(requests)} wire requests ({IO_STALL_SECONDS * 1e3:.0f} ms "
+        f"delivery stall each): single-threaded {single_seconds:.3f}s, "
+        f"{NUM_WORKERS} workers {threaded_seconds:.3f}s ({speedup:.1f}x; "
+        f"hit rates {single_rate:.1%} / {threaded_rate:.1%})",
+    )
+
+    # Identity first: the pool serves exactly what the loop serves.
+    assert len(threaded_responses) == len(single_responses)
+    for mine, reference in zip(threaded_responses, single_responses):
+        assert _route_payload(mine) == _route_payload(reference)
+    for rate, mode in [(single_rate, "single"), (threaded_rate, "threaded")]:
+        assert rate >= HIT_RATE_FLOOR, (
+            f"{mode} serving must hit the cache: {rate:.1%} < "
+            f"{HIT_RATE_FLOOR:.0%}"
+        )
+    assert speedup >= THROUGHPUT_FLOOR, (
+        f"the worker pool must overlap delivery stalls: "
+        f"{speedup:.2f}x < {THROUGHPUT_FLOOR}x"
+    )
+
+
+def test_contended_updates_serve_snapshot_consistent_answers(
+    benchmark, runner
+):
+    """Live updates racing a 4-worker request stream: every answer equals
+    a cold engine at its tagged version; no bump is lost; accounting is
+    exact (hits + misses == lookups)."""
+    reference_engine = runner.engine("convolution")
+    network = reference_engine.network
+    base_table = reference_engine.combiner.costs.copy()
+    service = RoutingService(network, ConvolutionModel(base_table.copy()))
+    base_version = service.cost_version()
+
+    queries = [
+        banded.query
+        for members in runner.workload.values()
+        for banded in members
+    ][:8]
+    requests = [
+        {"op": "route", "query": queries[i % len(queries)].to_dict()}
+        for i in range(120)
+    ]
+
+    # Deterministic absolute updates: +2 ticks on every edge the first
+    # answers use, so the answer genuinely changes at each bump.
+    first_batch = RoutingEngine(
+        network, ConvolutionModel(base_table.copy())
+    ).route_many(queries)
+    touched = sorted(
+        {edge.id for result in first_batch for edge in result.path}
+    )
+    updates = []
+    for i in range(4):
+        edge_ids = touched[i::4]
+        updates.append(
+            {
+                edge_id: base_table.cost(network.edge(edge_id)).shift(2 + i)
+                for edge_id in edge_ids
+            }
+        )
+
+    def serve_contended():
+        futures = []
+        with ThreadedFrontend(service, num_workers=NUM_WORKERS) as frontend:
+            for index, request in enumerate(requests):
+                futures.append((index, frontend.submit(request)))
+                if index % 30 == 29:
+                    update = CostUpdate(costs=updates[index // 30])
+                    frontend.submit(
+                        {"op": "apply_update", "update": update.to_dict()}
+                    )
+            return [(i, f.result(timeout=60)) for i, f in futures]
+
+    responses = benchmark.pedantic(serve_contended, rounds=1, iterations=1)
+
+    assert service.cost_version() == base_version + len(updates)
+    stats = service.stats()
+    assert stats.updates_applied == len(updates)
+    assert stats.cache_hits + stats.cache_misses == len(requests)
+
+    # Rebuild a cold engine per version and check identity.
+    engines, replay = {}, base_table.copy()
+    engines[base_version] = RoutingEngine(network, ConvolutionModel(replay.copy()))
+    for i, update in enumerate(updates):
+        replay.apply_deltas(update)
+        engines[base_version + i + 1] = RoutingEngine(
+            network, ConvolutionModel(replay.copy())
+        )
+    cold, by_version = {}, {}
+    for index, response in responses:
+        assert response["ok"], response
+        version = response["cost_version"]
+        by_version[version] = by_version.get(version, 0) + 1
+        query = queries[index % len(queries)]
+        key = (version, query)
+        if key not in cold:
+            cold[key] = engines[version].route(query)
+        assert response["result"]["probability"] == cold[key].probability
+        assert response["result"]["path"] == [e.id for e in cold[key].path]
+
+    emit(
+        "Contended hot-swap identity (4 workers, live updates mid-stream)",
+        f"{len(requests)} responses across versions "
+        f"{sorted(by_version)} (counts {by_version}); all bit-equal to "
+        f"cold engines at their tagged versions; hit rate "
+        f"{stats.hit_rate:.1%}",
+    )

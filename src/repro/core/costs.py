@@ -35,12 +35,38 @@ class EdgeCostTable:
             raise ValueError("resolution must be positive")
         self.network = network
         self.resolution = float(resolution)
-        self._table: dict[int, DiscreteDistribution] = {}
+        # The (table, version) pair lives in ONE reference so concurrent
+        # readers can never observe a torn pair — new histograms tagged with
+        # the old version, or a half-applied batch.  `apply_deltas` publishes
+        # a brand-new pair in a single assignment (atomic under the GIL);
+        # readers that need coherence snapshot the cell once via `versioned`.
+        self._versioned: tuple[dict[int, DiscreteDistribution], int] = ({}, 0)
         self._free_flow: dict[int, DiscreteDistribution] = {}
-        #: Mutation counter; bumped by :meth:`set_cost`.  Consumers that
-        #: memoise derived state (heuristic tables, combiner edge caches) key
-        #: on it so edits invalidate them without any registration protocol.
-        self.version = 0
+
+    @property
+    def _table(self) -> dict[int, DiscreteDistribution]:
+        return self._versioned[0]
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by :meth:`set_cost` / :meth:`apply_deltas`.
+
+        Consumers that memoise derived state (heuristic tables, combiner edge
+        caches, the serving layer's result cache) key on it so edits
+        invalidate them without any registration protocol.
+        """
+        return self._versioned[1]
+
+    @property
+    def versioned(self) -> tuple[Mapping[int, DiscreteDistribution], int]:
+        """One coherent ``(histograms, version)`` snapshot of the table.
+
+        Reading :attr:`version` and then the costs as two steps can tear
+        around a concurrent :meth:`apply_deltas`; this property reads the
+        single publication cell once, so the pair is always consistent.
+        Treat the mapping as read-only.
+        """
+        return self._versioned
 
     @classmethod
     def from_store(
@@ -74,10 +100,16 @@ class EdgeCostTable:
         self.network.edge(int(edge_id))  # raises IndexError beyond the edge list
 
     def set_cost(self, edge_id: int, distribution: DiscreteDistribution) -> None:
-        """Install or overwrite one edge's histogram."""
+        """Install or overwrite one edge's histogram.
+
+        Construction-time API: it mutates the live table in place (no
+        copy-on-write), so it is *not* safe against concurrent readers.
+        Live serving updates go through :meth:`apply_deltas`.
+        """
         self._check_edge_id(edge_id)
-        self._table[edge_id] = distribution
-        self.version += 1
+        table, version = self._versioned
+        table[edge_id] = distribution
+        self._versioned = (table, version + 1)
 
     def apply_deltas(self, updates: Mapping[int, DiscreteDistribution]) -> int:
         """Install a batch of edge histograms under a *single* version bump.
@@ -89,7 +121,16 @@ class EdgeCostTable:
         applied atomically from the caller's perspective — either every edge
         in ``updates`` is installed and the version moves by one, or the
         table is untouched (unknown edges / non-distribution values raise
-        before anything is written).  Returns the new version.
+        before anything is written).  The batch is also atomic against
+        concurrent *readers*: the new histograms and the new version are
+        published together as one new ``(table, version)`` cell, so a reader
+        can never see updated costs under the old version (it would cache a
+        fresh answer under a stale key) nor a partially-installed batch.
+        This is copy-on-write — the whole mapping is copied per batch — which
+        is what lets readers holding the old cell keep an immutable snapshot;
+        the cost is O(observed edges) per *feed batch* (not per edge), paid
+        off the request path while the serving layer's write lock already
+        holds readers out.  Returns the new version.
         """
         if not updates:
             raise ValueError("apply_deltas requires at least one edge update")
@@ -100,8 +141,8 @@ class EdgeCostTable:
                     f"edge {edge_id}: cost update must be a "
                     f"DiscreteDistribution, got {type(distribution).__name__}"
                 )
-        self._table.update(updates)
-        self.version += 1
+        table, version = self._versioned
+        self._versioned = ({**table, **updates}, version + 1)
         return self.version
 
     def copy(self) -> "EdgeCostTable":
@@ -114,7 +155,7 @@ class EdgeCostTable:
         verify against a cold copy with the same deltas applied.
         """
         clone = EdgeCostTable(self.network, resolution=self.resolution)
-        clone._table = dict(self._table)
+        clone._versioned = (dict(self._table), 0)
         return clone
 
     def has_observed_cost(self, edge_id: int) -> bool:

@@ -507,6 +507,15 @@ class RoutingEngine:
         ``set_cost`` / ``apply_deltas`` edit invalidates every cached answer
         by construction (new keys simply never match old entries) — no
         scanning, no registration protocol.
+
+        Concurrency: the underlying table publishes its histograms and its
+        version together in one atomic cell
+        (:attr:`~repro.core.costs.EdgeCostTable.versioned`), so a version
+        read here is a coherent snapshot tag — a request that reads it once
+        up front, computes, and caches under it can never tag an answer
+        with a version the costs it read did not belong to.  (Keeping the
+        *whole computation* at that snapshot is the serving layer's job: it
+        serialises ``apply_deltas`` against in-flight requests.)
         """
         return self.combiner.costs.version
 
@@ -527,7 +536,13 @@ class RoutingEngine:
     # ------------------------------------------------------------------
 
     def strategy(self, name: str) -> RoutingStrategy:
-        """The (per-engine cached) strategy instance registered as ``name``."""
+        """The (per-engine cached) strategy instance registered as ``name``.
+
+        Safe under concurrent callers: two threads racing the first lookup
+        may both construct an instance, but ``setdefault`` publishes exactly
+        one and strategies are stateless policy objects, so the loser's
+        instance is simply garbage.
+        """
         instance = self._strategies.get(name)
         if instance is None:
             cls = _STRATEGIES.get(name)
@@ -536,8 +551,7 @@ class RoutingEngine:
                     f"unknown routing strategy {name!r}; available: "
                     f"{', '.join(available_strategies())}"
                 )
-            instance = cls()
-            self._strategies[name] = instance
+            instance = self._strategies.setdefault(name, cls())
         return instance
 
     def heuristic_for(self, target: int) -> OptimisticHeuristic:

@@ -18,6 +18,7 @@ for the invalidation contract.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from ..core.costs import EdgeCostTable
@@ -36,10 +37,20 @@ HEURISTIC_CACHE_SIZE = 128
 #: network.version, costs.version, target)``.
 _SHARED: "OrderedDict[tuple[int, int, int, int, int], OptimisticHeuristic]" = OrderedDict()
 
+#: Guards every structural operation on :data:`_SHARED`.  The LRU mixes
+#: ``move_to_end`` / ``del`` / ``popitem`` — interleaved from two serving
+#: threads those corrupt the order dict or raise spurious ``KeyError``s.
+#: The reverse Dijkstra itself is built *outside* the lock so concurrent
+#: misses for distinct targets proceed in parallel (two threads racing the
+#: same key may both build; one result wins, the other is garbage — cheap
+#: compared to serialising every build behind one global mutex).
+_SHARED_LOCK = threading.Lock()
+
 
 def clear_heuristic_cache() -> None:
     """Drop every shared heuristic (tests and long-lived servers)."""
-    _SHARED.clear()
+    with _SHARED_LOCK:
+        _SHARED.clear()
 
 
 class OptimisticHeuristic:
@@ -68,24 +79,32 @@ class OptimisticHeuristic:
         ids = (id(network), id(costs))
         versions = (getattr(network, "version", 0), getattr(costs, "version", 0))
         key = (*ids, *versions, target)
-        cached = _SHARED.get(key)
-        if cached is not None:
-            _SHARED.move_to_end(key)
-            return cached
-        # Evict every stale-version entry for this same (network, costs)
-        # pair before inserting: those tables can never be hit again, and
-        # keeping them would pin dead reverse-Dijkstra maps (and, through
-        # their strong references, nothing useful) until LRU churn.
-        stale = [
-            k for k in _SHARED if (k[0], k[1]) == ids and (k[2], k[3]) != versions
-        ]
-        for k in stale:
-            del _SHARED[k]
+        with _SHARED_LOCK:
+            cached = _SHARED.get(key)
+            if cached is not None:
+                _SHARED.move_to_end(key)
+                return cached
+            # Evict every stale-version entry for this same (network, costs)
+            # pair before inserting: those tables can never be hit again, and
+            # keeping them would pin dead reverse-Dijkstra maps (and, through
+            # their strong references, nothing useful) until LRU churn.
+            stale = [
+                k
+                for k in _SHARED
+                if (k[0], k[1]) == ids and (k[2], k[3]) != versions
+            ]
+            for k in stale:
+                del _SHARED[k]
+        # Build outside the lock: the reverse Dijkstra is the expensive part,
+        # and holding the global mutex through it would serialise every
+        # concurrent miss (and stall unrelated hits) behind one build.
         heuristic = cls(network, costs, target)
-        _SHARED[key] = heuristic
-        while len(_SHARED) > HEURISTIC_CACHE_SIZE:
-            _SHARED.popitem(last=False)
-        return heuristic
+        with _SHARED_LOCK:
+            winner = _SHARED.setdefault(key, heuristic)
+            _SHARED.move_to_end(key)
+            while len(_SHARED) > HEURISTIC_CACHE_SIZE:
+                _SHARED.popitem(last=False)
+            return winner
 
     @property
     def table(self) -> dict[int, float]:

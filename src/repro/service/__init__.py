@@ -1,15 +1,21 @@
 """The serving layer: versioned result caching over the routing engine.
 
 :class:`RoutingService` wraps :class:`~repro.routing.RoutingEngine` with a
-bounded, cost-table-version-keyed LRU result cache, live cost-table
-hot-swap (:class:`CostUpdate` / :meth:`RoutingService.apply_cost_update`),
-departure-time scenarios (named time-of-day cost-table slices behind a
-:class:`ScenarioSchedule`) and a JSON request/response wire protocol with
-:class:`ServiceStats` observability.  See PERFORMANCE.md ("Serving layer")
-for the cache-key and invalidation design.
+bounded, cost-table-version-keyed LRU result cache (thread-safe, with
+per-entry TTLs and a compute-cost admission policy), live cost-table
+hot-swap (:class:`CostUpdate` / :meth:`RoutingService.apply_cost_update`,
+snapshot-consistent against in-flight requests via per-slice read-write
+locks), departure-time scenarios (named time-of-day cost-table slices
+behind a :class:`ScenarioSchedule`) and a JSON request/response wire
+protocol with :class:`ServiceStats` observability.
+:class:`ThreadedFrontend` drives one service from a worker pool over a
+request queue — the concurrent deployment shape.  See PERFORMANCE.md
+("Serving layer" and "Concurrent serving") for the cache-key,
+invalidation and locking design.
 """
 
 from .cache import ResultCache, freeze_kwargs
+from .frontend import FrontendStats, ThreadedFrontend
 from .scenarios import (
     DAY_SECONDS,
     DEFAULT_SLICE_WEIGHTS,
@@ -25,6 +31,7 @@ from .service import (
     ServiceStats,
     StrategyLatency,
 )
+from .sync import ReadWriteLock
 from .updates import CostUpdate
 
 __all__ = [
@@ -32,6 +39,8 @@ __all__ = [
     "DAY_SECONDS",
     "DEFAULT_SLICE",
     "DEFAULT_SLICE_WEIGHTS",
+    "FrontendStats",
+    "ReadWriteLock",
     "ResultCache",
     "RoutingService",
     "ScenarioSchedule",
@@ -39,6 +48,7 @@ __all__ = [
     "ServedResult",
     "ServiceStats",
     "StrategyLatency",
+    "ThreadedFrontend",
     "TimeSlice",
     "freeze_kwargs",
     "time_sliced_cost_tables",

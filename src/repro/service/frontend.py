@@ -1,0 +1,262 @@
+"""A threaded serving frontend: a worker pool over one request queue.
+
+:class:`RoutingService` is thread-safe but passive — something must pump
+requests into it.  :class:`ThreadedFrontend` is that something for a
+multi-client deployment: callers :meth:`~ThreadedFrontend.submit` wire
+request documents (the same JSON-ready shapes
+:meth:`~repro.service.RoutingService.handle_request` speaks) and get a
+:class:`~concurrent.futures.Future` back; N worker threads drain the
+queue, drive the shared service, and deliver each response.
+
+What the pool buys under CPython's GIL is *overlap*, not parallel search:
+while one worker waits on response delivery (the ``deliver`` hook — a
+socket write in a real deployment), or inside native code that releases
+the GIL, the others keep serving.  Cache hits — the dominant outcome on
+production OD traffic — are near-free either way, so a small pool
+sustains a large client count.  The service below it guarantees the rest:
+per-slice read-write locks keep every answer snapshot-consistent with the
+cost-table version it is tagged with, however many workers are in flight.
+
+The frontend inherits the service's always-answer contract: a worker
+never dies on a bad request — malformed documents come back as
+``{"ok": false, ...}`` error documents through the future, and a failing
+``deliver`` hook marks only that one future.
+"""
+
+from __future__ import annotations
+
+import numbers
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from .service import RoutingService
+
+__all__ = ["FrontendStats", "ThreadedFrontend"]
+
+
+class FrontendStats:
+    """Cumulative counters for one frontend (atomic snapshot via ``read``)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.delivery_failures = 0
+        self.cancelled = 0
+
+    def _bump(self, field: str) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + 1)
+
+    def read(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "delivery_failures": self.delivery_failures,
+                "cancelled": self.cancelled,
+            }
+
+
+class ThreadedFrontend:
+    """Drive one :class:`RoutingService` from a pool of worker threads.
+
+    Parameters
+    ----------
+    service:
+        The (thread-safe) service every worker serves from.
+    num_workers:
+        Pool size.  Sized for overlap, not CPU count: 4–8 covers a
+        deployment where delivery latency dominates per-request compute.
+    max_pending:
+        Bound on queued-but-unserved requests (0 = unbounded).  When the
+        queue is full, :meth:`submit` blocks — backpressure, not an error —
+        so a burst cannot grow memory without bound.
+    deliver:
+        Optional hook called by the worker with ``(request, response)``
+        after computing each response — the "write it back to the client"
+        step.  A raising hook fails that request's future only.
+
+    Use as a context manager (``with ThreadedFrontend(service) as fe:``)
+    or call :meth:`start` / :meth:`close` explicitly.  ``close`` drains by
+    default: every accepted request is served before the workers exit.
+    """
+
+    _STOP = object()  # queue sentinel, one per worker at shutdown
+
+    def __init__(
+        self,
+        service: RoutingService,
+        *,
+        num_workers: int = 4,
+        max_pending: int = 0,
+        deliver: Callable[[Mapping[str, Any], dict[str, Any]], None] | None = None,
+    ) -> None:
+        if (
+            isinstance(num_workers, bool)
+            or not isinstance(num_workers, numbers.Integral)
+            or num_workers < 1
+        ):
+            raise ValueError(
+                f"num_workers must be a positive integer, got {num_workers!r}"
+            )
+        if (
+            isinstance(max_pending, bool)
+            or not isinstance(max_pending, numbers.Integral)
+            or max_pending < 0
+        ):
+            raise ValueError(
+                f"max_pending must be a non-negative integer, got {max_pending!r}"
+            )
+        self.service = service
+        self.num_workers = int(num_workers)
+        self.deliver = deliver
+        self.stats = FrontendStats()
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=int(max_pending))
+        self._workers: list[threading.Thread] = []
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ThreadedFrontend":
+        """Spawn the worker pool (idempotent until :meth:`close`)."""
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("frontend is closed and cannot restart")
+            if self._started:
+                return self
+            self._started = True
+            for index in range(self.num_workers):
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"routing-frontend-{index}",
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+        return self
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop the pool.
+
+        ``drain=True`` (default) serves everything already accepted, then
+        stops.  ``drain=False`` cancels queued-but-unstarted requests
+        (their futures report cancelled) and stops as soon as each worker
+        finishes its current request.  Either way, :meth:`submit` rejects
+        new work the moment close begins, and close is idempotent.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            started = self._started
+        if not started:
+            return
+        if not drain:
+            # Pull pending work off the queue and cancel it; workers may
+            # race us for items — both outcomes (served or cancelled) are
+            # valid under drain=False.
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not self._STOP:
+                    _, future = item
+                    if future.cancel():
+                        self.stats._bump("cancelled")
+        for _ in self._workers:
+            self._queue.put(self._STOP)
+        for worker in self._workers:
+            worker.join()
+        self._workers.clear()
+
+    def __enter__(self) -> "ThreadedFrontend":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+
+    def submit(self, request: Mapping[str, Any]) -> "Future[dict[str, Any]]":
+        """Enqueue one wire request; the future resolves to its response.
+
+        Blocks only when ``max_pending`` is set and the queue is full
+        (backpressure).  Raises ``RuntimeError`` if the frontend was never
+        started or is closing — a dropped-on-the-floor request must be
+        loud, not a forever-pending future.
+        """
+        with self._state_lock:
+            if not self._started or self._closed:
+                raise RuntimeError(
+                    "frontend is not accepting requests (start() it first; "
+                    "closed frontends stay closed)"
+                )
+        future: "Future[dict[str, Any]]" = Future()
+        self._queue.put((request, future))
+        # close() may have begun between the check above and the put.  If it
+        # did, our item either (a) landed before close's sentinels/drain and
+        # a worker will still serve it, or (b) will never be picked up — in
+        # which case cancelling succeeds and we fail loudly instead of
+        # handing back a forever-pending future.
+        with self._state_lock:
+            closed_underfoot = self._closed
+        if closed_underfoot and future.cancel():
+            self.stats._bump("cancelled")
+            raise RuntimeError("frontend closed while the request was queued")
+        self.stats._bump("submitted")
+        return future
+
+    def request(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """Synchronous convenience: :meth:`submit` and wait for the answer."""
+        return self.submit(request).result()
+
+    def map_requests(
+        self, requests: Iterable[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Submit a request sequence, then gather responses in input order.
+
+        All requests enter the queue before the first wait, so the pool
+        overlaps them; the returned list preserves input order regardless
+        of completion order.
+        """
+        futures: Sequence[Future] = [self.submit(r) for r in list(requests)]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is self._STOP:
+                return
+            request, future = item
+            if not future.set_running_or_notify_cancel():
+                continue  # cancelled by close(drain=False) before we got it
+            try:
+                response = self.service.handle_request(request)
+            except BaseException as exc:  # pragma: no cover - handle_request
+                # answers everything; this is belt-and-braces so a worker
+                # thread can never die and silently shrink the pool.
+                future.set_exception(exc)
+                continue
+            if self.deliver is not None:
+                try:
+                    self.deliver(request, response)
+                except BaseException as exc:
+                    self.stats._bump("delivery_failures")
+                    future.set_exception(exc)
+                    continue
+            future.set_result(response)
+            self.stats._bump("completed")

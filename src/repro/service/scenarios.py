@@ -125,9 +125,15 @@ class ScenarioSchedule:
 
     def slice_at(self, departure_time_seconds: float) -> str:
         """The slice name serving a departure at ``departure_time_seconds``."""
+        # NaN/inf must fail loudly: ``nan % DAY_SECONDS`` is ``nan`` and
+        # ``bisect_right`` would then resolve it to an arbitrary slice — a
+        # garbage departure time silently served from the wrong cost table.
         t = float(departure_time_seconds)
         if not math.isfinite(t):
-            raise ValueError("departure time must be finite")
+            raise ValueError(
+                "departure time must be finite, got "
+                f"{departure_time_seconds!r}"
+            )
         t %= DAY_SECONDS
         return self.slices[bisect_right(self._starts, t) - 1].name
 

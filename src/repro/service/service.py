@@ -27,6 +27,9 @@ serve repeated OD traffic:
 from __future__ import annotations
 
 import json
+import math
+import numbers
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping
@@ -46,8 +49,9 @@ from ..routing import (
     SearchStats,
     result_from_dict,
 )
-from .cache import ResultCache, freeze_kwargs
+from .cache import ResultCache, check_ttl_seconds, freeze_kwargs
 from .scenarios import ScenarioSchedule
+from .sync import ReadWriteLock
 from .updates import CostUpdate
 
 __all__ = [
@@ -207,7 +211,9 @@ class ServiceStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    cache_expirations: int = 0
     cache_entries: int = 0
+    admission_skips: int = 0
     updates_applied: int = 0
     strategies: dict[str, StrategyLatency] = field(default_factory=dict)
 
@@ -224,7 +230,9 @@ class ServiceStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
+            "cache_expirations": self.cache_expirations,
             "cache_entries": self.cache_entries,
+            "admission_skips": self.admission_skips,
             "updates_applied": self.updates_applied,
             "hit_rate": self.hit_rate,
             "strategies": {
@@ -240,7 +248,11 @@ class ServiceStats:
             cache_hits=int(data["cache_hits"]),
             cache_misses=int(data["cache_misses"]),
             cache_evictions=int(data["cache_evictions"]),
+            # Absent in pre-TTL/admission documents: default to zero so old
+            # recorded stats stay readable.
+            cache_expirations=int(data.get("cache_expirations", 0)),
             cache_entries=int(data["cache_entries"]),
+            admission_skips=int(data.get("admission_skips", 0)),
             updates_applied=int(data["updates_applied"]),
             strategies={
                 name: StrategyLatency.from_dict(payload)
@@ -257,6 +269,29 @@ class RoutingService:
     result cache, and the live-update path.  Construct it with a single
     combiner for a one-table service, or via :meth:`from_time_slices` for
     departure-time scenarios.
+
+    The service is **thread-safe** and snapshot-consistent: any number of
+    threads (e.g. a :class:`~repro.service.frontend.ThreadedFrontend` pool)
+    may call :meth:`route` / :meth:`route_many` / :meth:`apply_cost_update`
+    concurrently.  Each slice carries a writer-preferring
+    :class:`~repro.service.sync.ReadWriteLock` — requests hold the read
+    side, cost updates the write side — so a request reads the cost-table
+    version once, computes against exactly that table, and caches/tags
+    under that version even when an update arrives mid-flight (the update
+    waits for in-flight readers, then strands their cache entries with one
+    version bump).  The result cache and the stats counters take their own
+    internal locks; hold order is always slice lock → cache/stats lock,
+    and those inner locks are leaves, so the service cannot deadlock
+    against itself.
+
+    ``cache_ttl_seconds`` ages cached answers out by wall clock (``None``
+    = version bumps are the only invalidation).  A per-request TTL can
+    override it (:meth:`route`'s ``cache_ttl_seconds``).
+    ``admission_min_compute_seconds`` is the cache admission policy: an
+    answer whose search took less than this many seconds is *not* cached —
+    recomputing it costs less than the cache slot it would occupy (an LRU
+    slot evicted from a popular expensive answer).  ``0.0`` admits
+    everything.
     """
 
     def __init__(
@@ -268,16 +303,34 @@ class RoutingService:
         schedule: ScenarioSchedule | None = None,
         pruning: PruningConfig | None = None,
         max_cache_entries: int = 4096,
+        cache_ttl_seconds: float | None = None,
+        admission_min_compute_seconds: float = 0.0,
     ) -> None:
+        if not (
+            isinstance(admission_min_compute_seconds, numbers.Real)
+            and not isinstance(admission_min_compute_seconds, bool)
+            and not math.isnan(admission_min_compute_seconds)
+            and admission_min_compute_seconds >= 0
+        ):
+            raise ValueError(
+                "admission_min_compute_seconds must be a non-negative number "
+                f"(inf = cache nothing), got {admission_min_compute_seconds!r}"
+            )
         self.network = network
         self.default_slice = slice_name
         self.schedule = schedule
         self._pruning = pruning
         self._engines: dict[str, RoutingEngine] = {}
-        self._cache = ResultCache(max_entries=max_cache_entries)
+        self._slice_locks: dict[str, ReadWriteLock] = {}
+        self._cache = ResultCache(
+            max_entries=max_cache_entries, ttl_seconds=cache_ttl_seconds
+        )
+        self.admission_min_compute_seconds = float(admission_min_compute_seconds)
+        self._stats_lock = threading.Lock()
         self._latency: dict[str, StrategyLatency] = {}
         self._requests = 0
         self._updates_applied = 0
+        self._admission_skips = 0
         self.add_slice(slice_name, combiner)
 
     @classmethod
@@ -291,6 +344,8 @@ class RoutingService:
         combiner_factory: Callable[[EdgeCostTable], CostCombiner] = ConvolutionModel,
         pruning: PruningConfig | None = None,
         max_cache_entries: int = 4096,
+        cache_ttl_seconds: float | None = None,
+        admission_min_compute_seconds: float = 0.0,
     ) -> "RoutingService":
         """Build a scenario service from named per-slice cost tables.
 
@@ -315,6 +370,8 @@ class RoutingService:
             schedule=schedule,
             pruning=pruning,
             max_cache_entries=max_cache_entries,
+            cache_ttl_seconds=cache_ttl_seconds,
+            admission_min_compute_seconds=admission_min_compute_seconds,
         )
         for name, table in slice_tables.items():
             if name != first:
@@ -348,6 +405,10 @@ class RoutingService:
         if name in self._engines:
             raise ValueError(f"slice {name!r} is already registered")
         engine = RoutingEngine(self.network, combiner, pruning=self._pruning)
+        # The lock is published before the engine: a concurrent request can
+        # only reach a slice it can resolve, and resolving requires the
+        # engine entry — by then the lock exists.
+        self._slice_locks[name] = ReadWriteLock()
         self._engines[name] = engine
         return engine
 
@@ -379,6 +440,7 @@ class RoutingService:
         strategy: str = "pbr",
         slice_name: str | None = None,
         time_limit_seconds: float | None = None,
+        cache_ttl_seconds: float | None = None,
         **kwargs: Any,
     ) -> ServedResult:
         """Answer one query, served from cache when possible.
@@ -387,7 +449,14 @@ class RoutingService:
         bit-equal by construction.  Requests with a wall-clock limit bypass
         the cache entirely (their answers depend on machine load, not only
         on the query), as do requests whose kwargs cannot be canonicalised
-        into a key.
+        into a key.  ``cache_ttl_seconds`` gives this request's answer its
+        own expiry instead of the service default; answers whose search ran
+        faster than ``admission_min_compute_seconds`` are not cached at all.
+
+        The whole lookup-compute-cache sequence holds the slice's read
+        lock: concurrent requests proceed together, while a concurrent
+        :meth:`apply_cost_update` waits — so the version read here tags
+        exactly the cost table the answer was computed from.
         """
         name = self._resolve_slice(slice_name)
         engine = self._engines[name]
@@ -396,35 +465,40 @@ class RoutingService:
         # in the per-strategy latency map — that map stays bounded by the
         # strategy registry.
         engine.strategy(strategy)
-        version = engine.cost_version
+        ttl = self._check_request_ttl(cache_ttl_seconds)
         begin = time.perf_counter()
-        key = self._cache_key(
-            name, strategy, query, self._key_extras(time_limit_seconds, kwargs),
-            version,
-        )
-        if key is not None:
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._record(strategy, time.perf_counter() - begin)
-                return ServedResult(cached, True, version, name, strategy)
-        try:
-            result = engine.route(
-                query,
-                strategy=strategy,
-                time_limit_seconds=time_limit_seconds,
-                **kwargs,
+        with self._slice_locks[name].read_locked():
+            version = engine.cost_version
+            key = self._cache_key(
+                name, strategy, query,
+                self._key_extras(time_limit_seconds, kwargs), version,
             )
-        except BaseException:
-            # The lookup above was never cache traffic — the request
-            # failed, so refund its miss; the request itself still counts.
             if key is not None:
-                self._cache.refund_miss()
-            raise
-        finally:
-            self._record(strategy, time.perf_counter() - begin)
-        if key is not None and result is not None:
-            self._cache.put(key, result)
-        return ServedResult(result, False, version, name, strategy)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._record(strategy, time.perf_counter() - begin)
+                    return ServedResult(cached, True, version, name, strategy)
+            compute_begin = time.perf_counter()
+            try:
+                result = engine.route(
+                    query,
+                    strategy=strategy,
+                    time_limit_seconds=time_limit_seconds,
+                    **kwargs,
+                )
+            except BaseException:
+                # The lookup above was never cache traffic — the request
+                # failed, so refund its miss; the request itself still
+                # counts.
+                if key is not None:
+                    self._cache.refund_miss()
+                raise
+            finally:
+                self._record(strategy, time.perf_counter() - begin)
+            if key is not None and result is not None:
+                # Admission judges pure search time, not queueing/lock wait.
+                self._admit(key, result, time.perf_counter() - compute_begin, ttl)
+            return ServedResult(result, False, version, name, strategy)
 
     def route_at(
         self,
@@ -433,6 +507,7 @@ class RoutingService:
         *,
         strategy: str = "pbr",
         time_limit_seconds: float | None = None,
+        cache_ttl_seconds: float | None = None,
         **kwargs: Any,
     ) -> ServedResult:
         """Answer one query for a given departure time.
@@ -452,6 +527,7 @@ class RoutingService:
             strategy=strategy,
             slice_name=self.schedule.slice_at(departure_time_seconds),
             time_limit_seconds=time_limit_seconds,
+            cache_ttl_seconds=cache_ttl_seconds,
             **kwargs,
         )
 
@@ -463,6 +539,7 @@ class RoutingService:
         slice_name: str | None = None,
         time_limit_seconds: float | None = None,
         workers: int | None = None,
+        cache_ttl_seconds: float | None = None,
         **kwargs: Any,
     ) -> ServedBatch:
         """Serve a batch: answer hits from cache, route only the misses.
@@ -470,62 +547,73 @@ class RoutingService:
         The miss subset goes through :meth:`RoutingEngine.route_many`
         (keeping its target grouping and optional ``workers`` sharding);
         results come back in input order, and every freshly computed
-        cacheable answer is inserted for the next request.
+        cacheable answer is inserted for the next request.  Like
+        :meth:`route`, the whole batch holds the slice's read lock, so one
+        ``cost_version`` tags every member — a mid-batch update cannot
+        split the batch across two tables.  Admission judges each member
+        by the batch's mean per-miss search time (per-member wall clocks
+        do not exist when workers shard the batch).
         """
         name = self._resolve_slice(slice_name)
         engine = self._engines[name]
         engine.strategy(strategy)  # unknown names raise before any counting
-        version = engine.cost_version
+        ttl = self._check_request_ttl(cache_ttl_seconds)
         query_list = list(queries)
         begin = time.perf_counter()
-        results: list[ServiceAnswer | None] = [None] * len(query_list)
-        keys: list[Any | None] = [None] * len(query_list)
-        miss_indices: list[int] = []
-        extras = self._key_extras(time_limit_seconds, kwargs)
-        for index, query in enumerate(query_list):
-            key = self._cache_key(name, strategy, query, extras, version)
-            keys[index] = key
-            cached = self._cache.get(key) if key is not None else None
-            if cached is not None:
-                results[index] = cached
+        with self._slice_locks[name].read_locked():
+            version = engine.cost_version
+            results: list[ServiceAnswer | None] = [None] * len(query_list)
+            keys: list[Any | None] = [None] * len(query_list)
+            miss_indices: list[int] = []
+            extras = self._key_extras(time_limit_seconds, kwargs)
+            for index, query in enumerate(query_list):
+                key = self._cache_key(name, strategy, query, extras, version)
+                keys[index] = key
+                cached = self._cache.get(key) if key is not None else None
+                if cached is not None:
+                    results[index] = cached
+                else:
+                    miss_indices.append(index)
+            if miss_indices:
+                compute_begin = time.perf_counter()
+                try:
+                    sub_batch = engine.route_many(
+                        [query_list[index] for index in miss_indices],
+                        strategy=strategy,
+                        time_limit_seconds=time_limit_seconds,
+                        workers=workers,
+                        **kwargs,
+                    )
+                except BaseException:
+                    # The caller receives nothing, so none of this batch's
+                    # lookups — hit or miss — were real cache traffic.
+                    looked_up = sum(1 for key in keys if key is not None)
+                    missed = sum(
+                        1 for index in miss_indices if keys[index] is not None
+                    )
+                    self._cache.refund_miss(missed)
+                    self._cache.refund_hit(looked_up - missed)
+                    self._record(strategy, time.perf_counter() - begin)
+                    raise
+                mean_compute = (
+                    time.perf_counter() - compute_begin
+                ) / len(miss_indices)
+                for index, result in zip(miss_indices, sub_batch):
+                    results[index] = result
+                    if keys[index] is not None and result is not None:
+                        self._admit(keys[index], result, mean_compute, ttl)
+                stats = sub_batch.stats
             else:
-                miss_indices.append(index)
-        if miss_indices:
-            try:
-                sub_batch = engine.route_many(
-                    [query_list[index] for index in miss_indices],
-                    strategy=strategy,
-                    time_limit_seconds=time_limit_seconds,
-                    workers=workers,
-                    **kwargs,
-                )
-            except BaseException:
-                # The caller receives nothing, so none of this batch's
-                # lookups — hit or miss — were real cache traffic.
-                looked_up = sum(1 for key in keys if key is not None)
-                missed = sum(
-                    1 for index in miss_indices if keys[index] is not None
-                )
-                self._cache.refund_miss(missed)
-                self._cache.refund_hit(looked_up - missed)
-                self._record(strategy, time.perf_counter() - begin)
-                raise
-            for index, result in zip(miss_indices, sub_batch):
-                results[index] = result
-                if keys[index] is not None and result is not None:
-                    self._cache.put(keys[index], result)
-            stats = sub_batch.stats
-        else:
-            stats = SearchStats.aggregate(())
-        self._record(strategy, time.perf_counter() - begin)
-        return ServedBatch(
-            batch=BatchResult(results=tuple(results), stats=stats),
-            cache_hits=len(query_list) - len(miss_indices),
-            cache_misses=len(miss_indices),
-            cost_version=version,
-            slice_name=name,
-            strategy=strategy,
-        )
+                stats = SearchStats.aggregate(())
+            self._record(strategy, time.perf_counter() - begin)
+            return ServedBatch(
+                batch=BatchResult(results=tuple(results), stats=stats),
+                cache_hits=len(query_list) - len(miss_indices),
+                cache_misses=len(miss_indices),
+                cost_version=version,
+                slice_name=name,
+                strategy=strategy,
+            )
 
     # ------------------------------------------------------------------
     # Live cost updates
@@ -548,9 +636,16 @@ class RoutingService:
         overrides the update's own target.  Returns the new version.
         """
         mapping = update.costs if isinstance(update, CostUpdate) else update
-        engine = self._engines[self._update_target(update, slice_name)]
-        new_version = engine.combiner.costs.apply_deltas(mapping)
-        self._updates_applied += 1
+        target = self._update_target(update, slice_name)
+        engine = self._engines[target]
+        # The write side of the slice lock: wait for in-flight requests
+        # (whose answers stay correct under the version they already read),
+        # then swap.  Writer preference in the lock keeps a busy request
+        # stream from starving the feed.
+        with self._slice_locks[target].write_locked():
+            new_version = engine.combiner.costs.apply_deltas(mapping)
+        with self._stats_lock:
+            self._updates_applied += 1
         return new_version
 
     def _update_target(
@@ -572,22 +667,32 @@ class RoutingService:
     # ------------------------------------------------------------------
 
     def stats(self) -> ServiceStats:
-        """A point-in-time snapshot of the service's serving counters."""
-        return ServiceStats(
-            requests=self._requests,
-            cache_hits=self._cache.hits,
-            cache_misses=self._cache.misses,
-            cache_evictions=self._cache.evictions,
-            cache_entries=len(self._cache),
-            updates_applied=self._updates_applied,
-            strategies={
-                name: StrategyLatency(
-                    requests=latency.requests,
-                    total_seconds=latency.total_seconds,
-                )
-                for name, latency in self._latency.items()
-            },
-        )
+        """A point-in-time snapshot of the service's serving counters.
+
+        The cache counters arrive as one atomic snapshot
+        (:meth:`ResultCache.counters`) and the request/latency counters are
+        read under the stats lock, so each group is internally consistent
+        even while worker threads keep serving.
+        """
+        hits, misses, evictions, expirations, entries = self._cache.counters()
+        with self._stats_lock:
+            return ServiceStats(
+                requests=self._requests,
+                cache_hits=hits,
+                cache_misses=misses,
+                cache_evictions=evictions,
+                cache_expirations=expirations,
+                cache_entries=entries,
+                admission_skips=self._admission_skips,
+                updates_applied=self._updates_applied,
+                strategies={
+                    name: StrategyLatency(
+                        requests=latency.requests,
+                        total_seconds=latency.total_seconds,
+                    )
+                    for name, latency in self._latency.items()
+                },
+            )
 
     def clear_cache(self) -> None:
         """Drop every cached answer (counters survive; engines untouched)."""
@@ -616,6 +721,7 @@ class RoutingService:
                 common = {
                     "strategy": request.get("strategy", "pbr"),
                     "time_limit_seconds": request.get("time_limit_seconds"),
+                    "cache_ttl_seconds": request.get("cache_ttl_seconds"),
                     **kwargs,
                 }
                 if op == "route_at":
@@ -640,6 +746,7 @@ class RoutingService:
                     slice_name=request.get("slice"),
                     time_limit_seconds=request.get("time_limit_seconds"),
                     workers=request.get("workers"),
+                    cache_ttl_seconds=request.get("cache_ttl_seconds"),
                     **self._wire_kwargs(request),
                 )
                 return {"ok": True, **served.to_dict()}
@@ -687,8 +794,9 @@ class RoutingService:
     #: they have explicit top-level slots, and letting the spread win would
     #: silently reroute or un-cache a request labelled otherwise.
     _RESERVED_WIRE_KWARGS = frozenset(
-        {"strategy", "time_limit_seconds", "slice", "slice_name", "workers",
-         "query", "queries", "departure_time_seconds"}
+        {"strategy", "time_limit_seconds", "cache_ttl_seconds", "slice",
+         "slice_name", "workers", "query", "queries",
+         "departure_time_seconds"}
     )
 
     def _wire_kwargs(self, request: Mapping[str, Any]) -> dict[str, Any]:
@@ -739,9 +847,39 @@ class RoutingService:
             version,
         )
 
+    def _check_request_ttl(self, cache_ttl_seconds: float | None) -> float | None:
+        """Validate a per-request TTL (``None`` = use the service default)."""
+        return check_ttl_seconds(cache_ttl_seconds, name="cache_ttl_seconds")
+
+    def _admit(
+        self,
+        key: Any,
+        result: ServiceAnswer,
+        compute_seconds: float,
+        request_ttl: float | None,
+    ) -> None:
+        """Cache ``result`` if the admission policy accepts it.
+
+        An answer computed faster than ``admission_min_compute_seconds`` is
+        cheaper to recompute than to store — caching it can only displace
+        an answer worth keeping, so it is skipped (and counted).
+        """
+        if compute_seconds < self.admission_min_compute_seconds:
+            with self._stats_lock:
+                self._admission_skips += 1
+            return
+        if request_ttl is not None:
+            self._cache.put(key, result, ttl_seconds=request_ttl)
+        else:
+            self._cache.put(key, result)
+
     def _record(self, strategy: str, elapsed_seconds: float) -> None:
-        self._requests += 1
-        latency = self._latency.get(strategy)
-        if latency is None:
-            latency = self._latency[strategy] = StrategyLatency()
-        latency.record(elapsed_seconds)
+        # Read-modify-write on two counters; the lock keeps concurrent
+        # workers from losing increments (and the latency map bounded and
+        # uncorrupted).
+        with self._stats_lock:
+            self._requests += 1
+            latency = self._latency.get(strategy)
+            if latency is None:
+                latency = self._latency[strategy] = StrategyLatency()
+            latency.record(elapsed_seconds)

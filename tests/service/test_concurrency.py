@@ -1,0 +1,672 @@
+"""Concurrency stress tests: the serving layer under threaded traffic.
+
+The contract locked down here (the serving layer's thread-safety story):
+
+* **exact accounting** — however many threads hammer the cache,
+  ``hits + misses`` equals the number of lookups *exactly*, the LRU dict
+  is never corrupted, and refunds stay atomic;
+* **snapshot consistency** — with live ``apply_cost_update`` calls
+  interleaved into the request stream, every answer is bit-equal to what
+  a cold engine built on the cost table *at the answer's tagged version*
+  produces: no torn version tags, no mixed-table answers, no lost bumps;
+* **TTL and admission** — per-entry expiry behaves exactly like absence
+  (and is counted), and the admission policy keeps cheap answers out of
+  the cache;
+* the **ThreadedFrontend** drives all of the above through a worker pool
+  without losing, duplicating or crashing a single request.
+
+Threads only ever *interleave* here (CPython GIL); these tests therefore
+assert invariants that hold for every interleaving rather than trying to
+provoke one specific schedule — that is what makes them deterministic.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import ConvolutionModel, EdgeCostTable
+from repro.network import grid_network
+from repro.routing import RoutingEngine, RoutingQuery
+from repro.service import (
+    CostUpdate,
+    ReadWriteLock,
+    ResultCache,
+    RoutingService,
+    ThreadedFrontend,
+)
+from repro.trajectories import CongestionModel
+
+HOT_QUERIES = [
+    RoutingQuery(0, 24, 40),
+    RoutingQuery(5, 3, 35),
+    RoutingQuery(20, 4, 50),
+    RoutingQuery(2, 22, 38),
+    RoutingQuery(0, 24, 41),
+]
+
+
+@pytest.fixture(scope="module")
+def world():
+    network = grid_network(5, 5, seed=2)
+    model = CongestionModel(network, seed=3)
+    costs = EdgeCostTable(network, resolution=5.0)
+    for edge in network.edges:
+        costs.set_cost(edge.id, model.edge_marginal(edge))
+    return network, model, costs
+
+
+def fresh_service(world, **kwargs):
+    network, _, costs = world
+    return RoutingService(network, ConvolutionModel(costs.copy()), **kwargs)
+
+
+def assert_same_answer(mine, reference, where=""):
+    assert mine.found == reference.found, where
+    assert [e.id for e in mine.path] == [e.id for e in reference.path], where
+    assert mine.probability == reference.probability, where
+    assert mine.distribution == reference.distribution, where
+
+
+def run_threads(workers):
+    """Start, then join, asserting no worker raised (failures re-raise)."""
+    errors = []
+
+    def wrap(fn):
+        def runner():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        return runner
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# ResultCache under threads
+# ----------------------------------------------------------------------
+
+
+class TestResultCacheThreadSafety:
+    def test_hammered_lru_keeps_exact_accounting(self):
+        """8 threads × 400 mixed get/put ops: hits + misses == lookups
+        exactly, the LRU bound holds, and no op ever raises (a torn
+        ``del``/re-insert pair would)."""
+        cache = ResultCache(max_entries=16)
+        num_threads, ops = 8, 400
+        barrier = threading.Barrier(num_threads)
+        lookups_per_thread = []
+        lock = threading.Lock()
+
+        def worker(seed):
+            def body():
+                barrier.wait()
+                lookups = 0
+                for i in range(ops):
+                    key = (seed * 7 + i) % 48  # contended key space > LRU
+                    value = cache.get(key)
+                    lookups += 1
+                    if value is None:
+                        cache.put(key, ("payload", key))
+                    else:
+                        assert value == ("payload", key)
+                with lock:
+                    lookups_per_thread.append(lookups)
+
+            return body
+
+        run_threads([worker(seed) for seed in range(num_threads)])
+        hits, misses, evictions, expirations, entries = cache.counters()
+        assert hits + misses == sum(lookups_per_thread) == num_threads * ops
+        assert entries <= 16
+        assert expirations == 0
+        assert evictions > 0  # the bound actually bit under contention
+
+    def test_concurrent_refunds_stay_atomic(self):
+        """Parallel lookup+refund pairs must cancel exactly — a lost
+        update in either counter would leave a nonzero residue (or trip
+        the over-refund guard)."""
+        cache = ResultCache()
+        cache.put("k", 1)
+        num_threads, rounds = 8, 300
+        barrier = threading.Barrier(num_threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(rounds):
+                if cache.get("k") is None:  # pragma: no cover - never absent
+                    cache.refund_miss()
+                else:
+                    cache.refund_hit()
+
+        run_threads([worker] * num_threads)
+        hits, misses, *_ = cache.counters()
+        assert (hits, misses) == (0, 0)
+
+
+# ----------------------------------------------------------------------
+# TTL expiry
+# ----------------------------------------------------------------------
+
+
+class TestEntryTTL:
+    def test_expired_entries_behave_like_absent_ones(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_seconds=10.0, clock=clock)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert cache.get("a") == 1
+        clock.now = 10.0  # deadline is exclusive: now >= put-time + ttl
+        assert "a" not in cache
+        assert cache.get("a") is None
+        assert len(cache) == 0  # dropped, not lingering
+        hits, misses, evictions, expirations, _ = cache.counters()
+        assert (hits, misses, expirations) == (1, 1, 1)
+        assert evictions == 0  # expiry is not an eviction
+
+    def test_per_entry_ttl_overrides_the_default(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_seconds=100.0, clock=clock)
+        cache.put("short", 1, ttl_seconds=5.0)
+        cache.put("default", 2)
+        cache.put("immortal", 3, ttl_seconds=None)
+        clock.now = 6.0
+        assert cache.get("short") is None
+        assert cache.get("default") == 2
+        clock.now = 1e9
+        assert cache.get("default") is None
+        assert cache.get("immortal") == 3
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_ttls_rejected(self, bad):
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            ResultCache(ttl_seconds=bad)
+        cache = ResultCache()
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            cache.put("k", 1, ttl_seconds=bad)
+
+    def test_service_level_ttl_expires_served_answers(self, world):
+        clock = FakeClock()
+        service = fresh_service(world, cache_ttl_seconds=60.0)
+        service._cache._clock = clock  # deterministic time for the test
+        query = HOT_QUERIES[0]
+        assert not service.route(query).cache_hit
+        assert service.route(query).cache_hit
+        clock.now = 61.0
+        refreshed = service.route(query)
+        assert not refreshed.cache_hit  # aged out, recomputed
+        stats = service.stats()
+        assert stats.cache_expirations == 1
+        assert (stats.cache_hits, stats.cache_misses) == (1, 2)
+
+    def test_per_request_ttl_over_the_wire(self, world):
+        clock = FakeClock()
+        service = fresh_service(world)
+        service._cache._clock = clock
+        query = HOT_QUERIES[0]
+        request = {
+            "op": "route",
+            "query": query.to_dict(),
+            "cache_ttl_seconds": 5.0,
+        }
+        assert service.handle_request(request)["ok"]
+        clock.now = 4.0
+        assert service.handle_request(request)["cache_hit"]
+        clock.now = 6.0
+        reply = service.handle_request(request)
+        assert reply["ok"] and not reply["cache_hit"]
+
+    def test_invalid_wire_ttl_is_an_error_document(self, world):
+        service = fresh_service(world)
+        response = service.handle_request(
+            {
+                "op": "route",
+                "query": HOT_QUERIES[0].to_dict(),
+                "cache_ttl_seconds": -2.0,
+            }
+        )
+        assert response["ok"] is False
+        assert "cache_ttl_seconds" in response["error"]
+        # The failed request must not leave a phantom lookup behind.
+        stats = service.stats()
+        assert (stats.cache_hits, stats.cache_misses) == (0, 0)
+
+
+# ----------------------------------------------------------------------
+# Admission policy
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionPolicy:
+    def test_cheap_answers_are_not_cached(self, world):
+        """``inf`` means nothing is ever worth a cache slot — every repeat
+        recomputes, and each skip is counted for the operator."""
+        service = fresh_service(
+            world, admission_min_compute_seconds=float("inf")
+        )
+        query = HOT_QUERIES[0]
+        first = service.route(query)
+        second = service.route(query)
+        assert not first.cache_hit and not second.cache_hit
+        assert_same_answer(first.result, second.result)  # still correct
+        stats = service.stats()
+        assert stats.cache_entries == 0
+        assert stats.admission_skips == 2
+        assert (stats.cache_hits, stats.cache_misses) == (0, 2)
+
+    def test_zero_threshold_admits_everything(self, world):
+        service = fresh_service(world, admission_min_compute_seconds=0.0)
+        service.route(HOT_QUERIES[0])
+        assert service.route(HOT_QUERIES[0]).cache_hit
+        assert service.stats().admission_skips == 0
+
+    def test_batches_apply_admission_per_member(self, world):
+        service = fresh_service(
+            world, admission_min_compute_seconds=float("inf")
+        )
+        first = service.route_many(HOT_QUERIES)
+        second = service.route_many(HOT_QUERIES)
+        assert first.cache_misses == second.cache_misses == len(HOT_QUERIES)
+        assert service.stats().admission_skips == 2 * len(HOT_QUERIES)
+
+    @pytest.mark.parametrize("bad", [-0.5, float("nan"), True, "fast"])
+    def test_invalid_thresholds_rejected(self, world, bad):
+        with pytest.raises(ValueError, match="admission_min_compute_seconds"):
+            fresh_service(world, admission_min_compute_seconds=bad)
+
+
+# ----------------------------------------------------------------------
+# The read-write lock itself
+# ----------------------------------------------------------------------
+
+
+class TestReadWriteLock:
+    def test_readers_share_writers_exclude(self):
+        lock = ReadWriteLock()
+        with lock.read_locked():
+            # A second reader enters while the first holds the lock.
+            entered = threading.Event()
+
+            def reader():
+                with lock.read_locked():
+                    entered.set()
+
+            thread = threading.Thread(target=reader)
+            thread.start()
+            assert entered.wait(5.0)
+            thread.join()
+
+        acquired_write = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                acquired_write.set()
+
+        with lock.read_locked():
+            thread = threading.Thread(target=writer)
+            thread.start()
+            # The writer must NOT get in while a reader holds the lock.
+            assert not acquired_write.wait(0.1)
+        assert acquired_write.wait(5.0)  # reader released -> writer runs
+        thread.join()
+
+    def test_waiting_writer_bars_new_readers(self):
+        """Writer preference: once a writer queues, later readers wait —
+        heavy request traffic cannot starve the cost feed forever."""
+        lock = ReadWriteLock()
+        order = []
+        order_lock = threading.Lock()
+        writer_waiting = threading.Event()
+        release_first_reader = threading.Event()
+
+        def first_reader():
+            with lock.read_locked():
+                release_first_reader.wait(5.0)
+
+        def writer():
+            writer_waiting.set()
+            with lock.write_locked():
+                with order_lock:
+                    order.append("writer")
+
+        def late_reader():
+            # Arrives after the writer queued: must run after it.
+            with lock.read_locked():
+                with order_lock:
+                    order.append("reader")
+
+        first = threading.Thread(target=first_reader)
+        first.start()
+        time.sleep(0.05)  # let the first reader in
+        writing = threading.Thread(target=writer)
+        writing.start()
+        assert writer_waiting.wait(5.0)
+        time.sleep(0.05)  # writer is now queued on the held lock
+        late = threading.Thread(target=late_reader)
+        late.start()
+        time.sleep(0.05)
+        release_first_reader.set()
+        for thread in (first, writing, late):
+            thread.join(5.0)
+        assert order == ["writer", "reader"]
+
+    def test_unbalanced_releases_raise(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError, match="acquire_read"):
+            lock.release_read()
+        with pytest.raises(RuntimeError, match="acquire_write"):
+            lock.release_write()
+
+
+# ----------------------------------------------------------------------
+# The tentpole: threaded serving under live updates
+# ----------------------------------------------------------------------
+
+
+class TestThreadedServingStress:
+    NUM_ROUTERS = 6
+    NUM_UPDATES = 6
+
+    def _build_updates(self, world):
+        """A deterministic update sequence: absolute histogram
+        replacements, so the table at version v0+i+1 is reproducible by
+        replaying updates[0..i] onto a copy of the base table."""
+        network, model, _ = world
+        num_states = model.config.num_states
+        updates = []
+        for i in range(self.NUM_UPDATES):
+            edges = network.edges[(i * 5) % 40 : (i * 5) % 40 + 5]
+            updates.append(model.cost_update(edges, (i + 1) % num_states))
+        return updates
+
+    def _cold_engines_by_version(self, world, base_version, updates):
+        """version -> cold RoutingEngine over the reconstructed table."""
+        network, _, costs = world
+        engines = {}
+        table = costs.copy()
+        engines[base_version] = RoutingEngine(network, ConvolutionModel(table))
+        replay = costs.copy()
+        for i, update in enumerate(updates):
+            replay.apply_deltas(update)
+            engines[base_version + i + 1] = RoutingEngine(
+                network, ConvolutionModel(replay.copy())
+            )
+        return engines
+
+    def test_hammering_one_version_is_exact_and_identical(self, world):
+        """No updates: N threads on a hot query set.  Accounting is exact,
+        every answer matches a cold engine, and duplicate concurrent
+        misses (two threads computing the same key) are benign."""
+        network, _, costs = world
+        service = fresh_service(world)
+        reference = RoutingEngine(network, ConvolutionModel(costs.copy()))
+        cold = {q: reference.route(q) for q in HOT_QUERIES}
+        iterations = 30
+        barrier = threading.Barrier(self.NUM_ROUTERS)
+        recorded = []
+        lock = threading.Lock()
+
+        def router(offset):
+            def body():
+                barrier.wait()
+                mine = []
+                for i in range(iterations):
+                    query = HOT_QUERIES[(offset + i) % len(HOT_QUERIES)]
+                    mine.append((query, service.route(query)))
+                with lock:
+                    recorded.extend(mine)
+
+            return body
+
+        run_threads([router(o) for o in range(self.NUM_ROUTERS)])
+        total = self.NUM_ROUTERS * iterations
+        stats = service.stats()
+        assert stats.requests == total
+        assert stats.cache_hits + stats.cache_misses == total  # exact
+        assert stats.cache_entries == len(HOT_QUERIES)
+        for query, served in recorded:
+            assert served.cost_version == service.cost_version()
+            assert_same_answer(served.result, cold[query], query)
+
+    def test_updates_interleaved_with_requests_stay_snapshot_consistent(
+        self, world
+    ):
+        """The core race from the issue: route/route_many hammered while
+        apply_cost_update lands mid-flight.  Every answer must bit-equal a
+        cold engine at its tagged version, no bump may be lost, and
+        hits+misses must equal lookups exactly."""
+        service = fresh_service(world)
+        base_version = service.cost_version()
+        updates = self._build_updates(world)
+        stop = threading.Event()
+        start = threading.Barrier(self.NUM_ROUTERS + 2 + 1)
+        recorded_single = []
+        recorded_batches = []
+        lock = threading.Lock()
+        lookup_counts = []
+
+        def router(offset):
+            def body():
+                start.wait()
+                mine, lookups = [], 0
+                while not stop.is_set() and len(mine) < 5_000:
+                    query = HOT_QUERIES[(offset + len(mine)) % len(HOT_QUERIES)]
+                    mine.append((query, service.route(query)))
+                    lookups += 1
+                with lock:
+                    recorded_single.extend(mine)
+                    lookup_counts.append(lookups)
+
+            return body
+
+        def batcher():
+            start.wait()
+            mine, lookups = [], 0
+            while not stop.is_set() and len(mine) < 5_000:
+                batch_queries = HOT_QUERIES[:3]
+                mine.append((batch_queries, service.route_many(batch_queries)))
+                lookups += len(batch_queries)
+            with lock:
+                recorded_batches.extend(mine)
+                lookup_counts.append(lookups)
+
+        def updater():
+            start.wait()
+            for update in updates:
+                time.sleep(0.02)  # let request traffic run at this version
+                service.apply_cost_update(update)
+            stop.set()
+
+        run_threads(
+            [router(o) for o in range(self.NUM_ROUTERS)]
+            + [batcher, batcher, updater]
+        )
+
+        # No lost version bumps, ever.
+        assert service.cost_version() == base_version + len(updates)
+        assert service.stats().updates_applied == len(updates)
+
+        # Exact accounting: every lookup is a hit or a miss, nothing else.
+        stats = service.stats()
+        assert stats.cache_hits + stats.cache_misses == sum(lookup_counts)
+
+        # Snapshot consistency: each answer equals a cold engine at the
+        # version it is tagged with — even for requests an update overlapped.
+        engines = self._cold_engines_by_version(world, base_version, updates)
+        cold_answers = {}  # (version, query) -> answer; few uniques, many records
+
+        def cold(version, query):
+            key = (version, query)
+            if key not in cold_answers:
+                cold_answers[key] = engines[version].route(query)
+            return cold_answers[key]
+
+        versions_seen = set()
+        for query, served in recorded_single:
+            versions_seen.add(served.cost_version)
+            assert_same_answer(
+                served.result, cold(served.cost_version, query), query
+            )
+        for batch_queries, served in recorded_batches:
+            versions_seen.add(served.cost_version)
+            for query, mine in zip(batch_queries, served):
+                assert_same_answer(
+                    mine, cold(served.cost_version, query), query
+                )
+        # The stream genuinely overlapped updates (routers run from before
+        # the first update until after the last one).
+        assert len(versions_seen) >= 2
+        # And the service keeps serving correctly at the final version.
+        final = service.route(HOT_QUERIES[0])
+        assert final.cost_version == base_version + len(updates)
+        assert_same_answer(
+            final.result, cold(final.cost_version, HOT_QUERIES[0])
+        )
+
+
+# ----------------------------------------------------------------------
+# ThreadedFrontend
+# ----------------------------------------------------------------------
+
+
+class TestThreadedFrontend:
+    def test_lifecycle_and_ordering(self, world):
+        service = fresh_service(world)
+        frontend = ThreadedFrontend(service, num_workers=3)
+        with pytest.raises(RuntimeError, match="start"):
+            frontend.submit({"op": "stats"})
+        requests = [
+            {"op": "route", "query": q.to_dict()} for q in HOT_QUERIES
+        ] * 4
+        with frontend:
+            responses = frontend.map_requests(requests)
+            assert all(r["ok"] for r in responses)
+            # Input order is preserved regardless of completion order.
+            for request, response in zip(requests, responses):
+                assert response["result"] is not None
+                assert (
+                    response["result"]["query"]["source"]
+                    == request["query"]["source"]
+                )
+            assert frontend.request({"op": "stats"})["ok"]
+        with pytest.raises(RuntimeError, match="closed"):
+            frontend.submit({"op": "stats"})
+        frontend.close()  # idempotent
+        counts = frontend.stats.read()
+        assert counts["submitted"] == counts["completed"] == len(requests) + 1
+
+    def test_bad_requests_come_back_as_error_documents(self, world):
+        service = fresh_service(world)
+        with ThreadedFrontend(service, num_workers=2) as frontend:
+            response = frontend.request({"op": "warp"})
+            assert response["ok"] is False
+            assert "unknown op" in response["error"]
+            # The pool survived: the next request is served normally.
+            assert frontend.request({"op": "stats"})["ok"]
+
+    def test_failing_delivery_fails_only_that_future(self, world):
+        service = fresh_service(world)
+        calls = []
+
+        def deliver(request, response):
+            calls.append(request["op"])
+            if request["op"] == "stats":
+                raise OSError("client hung up")
+
+        with ThreadedFrontend(service, num_workers=2, deliver=deliver) as fe:
+            broken = fe.submit({"op": "stats"})
+            fine = fe.submit(
+                {"op": "route", "query": HOT_QUERIES[0].to_dict()}
+            )
+            with pytest.raises(OSError, match="hung up"):
+                broken.result(timeout=10)
+            assert fine.result(timeout=10)["ok"]
+        assert fe.stats.read()["delivery_failures"] == 1
+        assert set(calls) == {"stats", "route"}
+
+    def test_close_without_drain_cancels_pending_work(self, world):
+        service = fresh_service(world)
+        worker_busy = threading.Event()
+        release_worker = threading.Event()
+
+        def deliver(request, response):
+            worker_busy.set()
+            release_worker.wait(10.0)
+
+        frontend = ThreadedFrontend(
+            service, num_workers=1, deliver=deliver
+        ).start()
+        running = frontend.submit({"op": "stats"})
+        assert worker_busy.wait(10.0)  # the only worker is now stuck
+        pending = [frontend.submit({"op": "stats"}) for _ in range(3)]
+        closer = threading.Thread(
+            target=lambda: frontend.close(drain=False)
+        )
+        closer.start()
+        time.sleep(0.1)  # close() drains the queue before we unblock
+        release_worker.set()
+        closer.join(10.0)
+        assert not closer.is_alive()
+        assert running.result(timeout=10)["ok"]
+        assert all(future.cancelled() for future in pending)
+        assert frontend.stats.read()["cancelled"] == len(pending)
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_invalid_worker_counts_rejected(self, world, bad):
+        with pytest.raises(ValueError, match="num_workers"):
+            ThreadedFrontend(fresh_service(world), num_workers=bad)
+
+    def test_pool_with_live_updates_stays_snapshot_consistent(self, world):
+        """The whole stack through the wire: 4 workers serving route
+        documents while update documents land through the same queue.
+        Every response's answer must match a cold engine at the version
+        the response is tagged with."""
+        network, _, costs = world
+        service = fresh_service(world)
+        base_version = service.cost_version()
+        stress = TestThreadedServingStress()
+        updates = stress._build_updates(world)
+        route_requests = [
+            {"op": "route", "query": HOT_QUERIES[i % len(HOT_QUERIES)].to_dict()}
+            for i in range(60)
+        ]
+        with ThreadedFrontend(service, num_workers=4) as frontend:
+            futures = []
+            for index, request in enumerate(route_requests):
+                futures.append((index, frontend.submit(request)))
+                if index % 12 == 11:  # an update every 12 requests
+                    update = CostUpdate(costs=updates[index // 12])
+                    frontend.submit(
+                        {"op": "apply_update", "update": update.to_dict()}
+                    ).result()
+            responses = [(i, f.result(timeout=30)) for i, f in futures]
+        assert service.cost_version() == base_version + 5
+        engines = stress._cold_engines_by_version(world, base_version, updates)
+        cold_answers = {}
+        for index, response in responses:
+            assert response["ok"], response
+            query = HOT_QUERIES[index % len(HOT_QUERIES)]
+            key = (response["cost_version"], query)
+            if key not in cold_answers:
+                cold_answers[key] = engines[key[0]].route(query)
+            reference = cold_answers[key]
+            assert response["result"]["probability"] == reference.probability
+            assert response["result"]["path"] == [
+                e.id for e in reference.path
+            ]

@@ -122,6 +122,48 @@ class TestResultCache:
         with pytest.raises(TypeError):
             freeze_kwargs({"estimator": object.__new__(bytearray)})
 
+    def test_freeze_kwargs_preserves_mapping_key_types(self):
+        """``{1: ...}`` and ``{"1": ...}`` are different payloads and must
+        not alias one cache entry (stringified keys would collapse them —
+        two requests would then serve each other's answers)."""
+        assert freeze_kwargs({"weights": {1: 0.5}}) != freeze_kwargs(
+            {"weights": {"1": 0.5}}
+        )
+        # Mixed non-orderable key types must still freeze deterministically
+        # (Python cannot sort 1 against "1" directly) and stay hashable.
+        frozen = freeze_kwargs({"weights": {1: 0.5, "1": 0.25, (2, 3): 1.0}})
+        assert frozen == freeze_kwargs(
+            {"weights": {"1": 0.25, (2, 3): 1.0, 1: 0.5}}
+        )
+        assert hash(frozen) is not None
+
+    def test_freeze_kwargs_equal_payloads_still_alias(self):
+        """The fix must not split genuinely equal payloads: wire (list)
+        and native (tuple) forms keep producing the same key."""
+        assert freeze_kwargs({"m": {"a": [1, 2]}}) == freeze_kwargs(
+            {"m": {"a": (1, 2)}}
+        )
+
+    def test_refund_beyond_recorded_counters_raises(self):
+        """The old ``max(0, ...)`` clamp silently absorbed double refunds —
+        exactly the accounting bug the counters exist to surface."""
+        cache = ResultCache()
+        cache.get("missing")  # one recorded miss
+        cache.refund_miss()  # fine: refunds the one miss
+        with pytest.raises(ValueError, match="double refund"):
+            cache.refund_miss()
+        cache.put("a", 1)
+        cache.get("a")  # one recorded hit
+        with pytest.raises(ValueError, match="double refund"):
+            cache.refund_hit(2)
+        assert (cache.hits, cache.misses) == (1, 0)  # nothing clamped away
+
+    @pytest.mark.parametrize("bad", [-1, 2.5, True, float("nan")])
+    def test_refund_count_must_be_a_whole_number(self, bad):
+        cache = ResultCache()
+        with pytest.raises(ValueError, match="refund count"):
+            cache.refund_miss(bad)
+
 
 # ----------------------------------------------------------------------
 # Hit bit-equals miss
@@ -392,6 +434,18 @@ class TestDepartureTimeScenarios:
         with pytest.raises(ValueError, match="ScenarioSchedule"):
             service.route_at(QUERY, 8 * 3600.0)
 
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_departure_times_rejected(self, sliced, bad):
+        """``nan % DAY_SECONDS`` is ``nan`` and bisect would resolve it to
+        an arbitrary slice — a garbage departure must fail loudly instead
+        of being served from whichever table it happens to land on."""
+        with pytest.raises(ValueError, match="finite"):
+            sliced.schedule.slice_at(bad)
+        with pytest.raises(ValueError, match="finite"):
+            sliced.route_at(QUERY, bad)
+
     def test_slice_answers_match_dedicated_engines(self, world):
         network, model, _ = world
         tables = time_sliced_cost_tables(network, model)
@@ -586,6 +640,39 @@ class TestWireProtocol:
         service = fresh_service(world)
         assert json.loads(service.handle_json("{nope"))["ok"] is False
         assert json.loads(service.handle_json("[1, 2]"))["ok"] is False
+
+    @pytest.mark.parametrize(
+        "departure, fragment",
+        [
+            (float("nan"), "finite"),
+            (float("inf"), "finite"),
+            (float("-inf"), "finite"),
+            (None, "TypeError"),
+        ],
+    )
+    def test_non_finite_departures_become_wire_error_documents(
+        self, world, departure, fragment
+    ):
+        """A bad departure time over the wire is an error document, not an
+        arbitrary-slice answer (and never a crashed serving loop)."""
+        network, model, _ = world
+        service = RoutingService.from_time_slices(
+            network, time_sliced_cost_tables(network, model)
+        )
+        response = service.handle_request(
+            {
+                "op": "route_at",
+                "query": QUERY.to_dict(),
+                "departure_time_seconds": departure,
+            }
+        )
+        assert response["ok"] is False
+        assert fragment in response["error"]
+        response = service.handle_request(
+            {"op": "route_at", "query": QUERY.to_dict()}
+        )
+        assert response["ok"] is False  # missing departure: also a document
+        assert "KeyError" in response["error"]
 
     def test_route_at_rejects_an_explicit_slice(self, world):
         """A conflicting 'slice' field must error, not be silently dropped."""

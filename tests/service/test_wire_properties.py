@@ -177,7 +177,9 @@ def service_stats(draw):
         cache_hits=draw(counter),
         cache_misses=draw(counter),
         cache_evictions=draw(counter),
+        cache_expirations=draw(counter),
         cache_entries=draw(counter),
+        admission_skips=draw(counter),
         updates_applied=draw(counter),
         strategies=strategies,
     )
@@ -298,6 +300,18 @@ class TestKindTaggedRoundTrips:
         document = json_round_trip(stats.to_dict())
         assert document["kind"] == "service_stats"
         assert ServiceStats.from_dict(document) == stats
+
+    @given(service_stats())
+    def test_service_stats_pre_ttl_documents_still_parse(self, stats):
+        """Documents recorded before the TTL/admission counters existed
+        must keep deserialising (the new fields default to zero)."""
+        document = json_round_trip(stats.to_dict())
+        del document["cache_expirations"]
+        del document["admission_skips"]
+        restored = ServiceStats.from_dict(document)
+        assert restored.cache_expirations == 0
+        assert restored.admission_skips == 0
+        assert restored.cache_hits == stats.cache_hits
 
     @given(schedules())
     def test_schedule(self, schedule):
