@@ -1,0 +1,160 @@
+"""Resilient serving under injected faults: deadlines hold, degradation is rare.
+
+The acceptance floors for the resilience layer (ISSUE: resilient serving):
+
+* **p99 deadline compliance** — with a ``FaultInjector`` stalling a fifth
+  of all requests for 50 ms, the client-observed p99 latency of a
+  deadline-bounded workload stays **under the request deadline**: the
+  cooperative time limit plus the degradation ladder turn an overrun into
+  an immediate (possibly degraded) answer instead of a blocked worker;
+* **degradation stays exceptional** — at least 95 % of the answers are
+  served non-degraded: the deadline machinery is a safety net, not the
+  serving path;
+* **containment** — every response is a well-formed ``ok`` document
+  (the stall is absorbed; nothing times out into an error), and the
+  injector's counters confirm the schedule actually fired.
+
+The CI workflow records this file's timings as ``BENCH_resilience.json``
+alongside the other serving benches.
+"""
+
+import time
+
+from repro.service import FaultInjector, RetryPolicy, RoutingService, ThreadedFrontend
+
+from conftest import emit
+
+#: Per-request deadline handed to the wire (milliseconds).
+DEADLINE_MS = 250.0
+
+#: Injected stall length (seconds) and the fraction of requests stalled.
+STALL_SECONDS = 0.05
+STALL_RATE = 0.2
+
+#: Slack on the *maximum* latency over the deadline: one injected stall
+#: plus one label-expansion quantum (the cooperative limit is checked
+#: between expansions, so an overrun can exceed the budget by at most the
+#: final expansion before the ladder answers).
+MAX_OVER_DEADLINE_SECONDS = STALL_SECONDS + 0.1
+
+#: Floor on the fraction of answers served without touching the ladder.
+NON_DEGRADED_FLOOR = 0.95
+
+#: How many requests the workload serves (unique queries x passes).
+PASSES = 4
+
+
+def test_deadlines_hold_under_injected_stalls(benchmark, runner):
+    """p99 under the deadline, >= 95 % non-degraded, zero errors."""
+    engine = runner.engine("convolution")
+    service = RoutingService(engine.network, engine.combiner)
+    base = [
+        banded.query
+        for members in runner.workload.values()
+        for banded in members
+    ]
+    requests = [
+        {"op": "route", "query": query.to_dict(), "deadline_ms": DEADLINE_MS}
+        for _ in range(PASSES)
+        for query in base
+    ]
+    injector = FaultInjector(
+        seed=20260808, slow_rate=STALL_RATE, slow_seconds=STALL_SECONDS
+    )
+    frontend = ThreadedFrontend(
+        service,
+        num_workers=1,  # serial pickup: each latency isolates one request
+        faults=injector,
+        retry=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+    )
+
+    latencies: list[float] = []
+    responses: list[dict] = []
+
+    def serve_workload():
+        latencies.clear()
+        responses.clear()
+        with frontend:
+            for request in requests:
+                begin = time.perf_counter()
+                responses.append(frontend.request(request))
+                latencies.append(time.perf_counter() - begin)
+
+    benchmark.pedantic(serve_workload, rounds=1, iterations=1)
+
+    assert all(response["ok"] for response in responses)
+    ordered = sorted(latencies)
+    p50 = ordered[len(ordered) // 2]
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+    worst = ordered[-1]
+    degraded = sum(response["degraded"] for response in responses)
+    non_degraded_rate = 1.0 - degraded / len(responses)
+    counters = injector.counters()
+    emit(
+        "Resilient serving (deadline workload under injected 50 ms stalls)",
+        f"{len(responses)} requests ({len(base)} unique x{PASSES} passes), "
+        f"deadline {DEADLINE_MS:.0f} ms, {counters['injected_stalls']} stalls "
+        f"injected: p50 {p50 * 1e3:.1f} ms, p99 {p99 * 1e3:.1f} ms, "
+        f"max {worst * 1e3:.1f} ms; {degraded} degraded "
+        f"({non_degraded_rate:.1%} clean)",
+    )
+
+    assert counters["injected_stalls"] > 0, "the fault schedule never fired"
+    deadline_seconds = DEADLINE_MS / 1000.0
+    assert p99 <= deadline_seconds, (
+        f"p99 latency must stay under the request deadline: "
+        f"{p99 * 1e3:.1f} ms > {DEADLINE_MS:.0f} ms"
+    )
+    assert worst <= deadline_seconds + MAX_OVER_DEADLINE_SECONDS, (
+        f"no request may overrun the deadline by more than one stall plus "
+        f"one expansion quantum: max {worst * 1e3:.1f} ms"
+    )
+    assert non_degraded_rate >= NON_DEGRADED_FLOOR, (
+        f"degradation must stay exceptional: only {non_degraded_rate:.1%} "
+        f"of answers were served clean (floor {NON_DEGRADED_FLOOR:.0%})"
+    )
+
+
+def test_crash_storm_is_contained(benchmark, runner):
+    """A 30 % crash-rate storm: every request still gets a document."""
+    engine = runner.engine("convolution")
+    service = RoutingService(engine.network, engine.combiner)
+    base = [
+        banded.query
+        for members in runner.workload.values()
+        for banded in members
+    ][:16]
+    injector = FaultInjector(seed=7, crash_rate=0.3)
+    frontend = ThreadedFrontend(
+        service,
+        num_workers=4,
+        faults=injector,
+        retry=RetryPolicy(max_attempts=3, backoff_seconds=0.0),
+    )
+
+    def serve_storm():
+        with frontend:
+            return frontend.map_requests(
+                {"op": "route", "query": query.to_dict()} for query in base
+            )
+
+    responses = benchmark.pedantic(serve_storm, rounds=1, iterations=1)
+
+    answered = sum(response["ok"] for response in responses)
+    errors = [response for response in responses if not response["ok"]]
+    counters = injector.counters()
+    stats = frontend.stats.read()
+    emit(
+        "Crash containment (30 % injected crash rate, 3 attempts)",
+        f"{len(responses)} requests, {counters['injected_crashes']} crashes "
+        f"injected, {stats['retries']} retries: {answered} answered, "
+        f"{len(errors)} exhausted into error documents",
+    )
+    assert len(responses) == len(base)  # nothing lost, nothing hung
+    assert counters["injected_crashes"] > 0
+    for response in errors:
+        assert response["error_kind"] == "internal"
+        assert "InjectedFault" in response["error"]
+    # With p(crash all 3 attempts) = 0.027, the storm is overwhelmingly
+    # absorbed: at least half the requests must come back answered.
+    assert answered >= len(base) // 2

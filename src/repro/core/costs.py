@@ -9,7 +9,7 @@ routes over the full network, not just the observed edges).
 from __future__ import annotations
 
 import numbers
-from typing import Mapping
+from typing import Any, Mapping
 
 from ..histograms import DiscreteDistribution
 from ..network import Edge, RoadNetwork
@@ -143,6 +143,81 @@ class EdgeCostTable:
                 )
         table, version = self._versioned
         self._versioned = ({**table, **updates}, version + 1)
+        return self.version
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot of the observed histograms *and* the version.
+
+        This is the serving layer's durable-state format
+        (:meth:`repro.service.RoutingService.snapshot`): the version is
+        serialised so a restored table reproduces the exact cache keys and
+        answer tags of the table it was dumped from — a successor service
+        restored from the snapshot is bit-identical, not merely equivalent.
+        The table and version are read from the single publication cell
+        once, so the pair is coherent even against a concurrent
+        :meth:`apply_deltas`.
+        """
+        table, version = self._versioned
+        return {
+            "kind": "cost_table",
+            "resolution": self.resolution,
+            "version": version,
+            "costs": {
+                str(edge_id): {
+                    "offset": dist.offset,
+                    "probs": [float(p) for p in dist.probs],
+                }
+                for edge_id, dist in sorted(table.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(
+        cls, network: RoadNetwork, data: Mapping[str, Any]
+    ) -> "EdgeCostTable":
+        """Rebuild a table dumped by :meth:`to_dict` onto ``network``.
+
+        The histograms are installed verbatim (no renormalisation — floats
+        round-trip exactly through JSON) and the dumped version is restored
+        as-is, unlike :meth:`copy` which deliberately restarts at zero.
+        """
+        if data.get("kind") != "cost_table":
+            raise ValueError(
+                f"expected a cost_table document, got kind={data.get('kind')!r}"
+            )
+        table = cls(network, resolution=float(data["resolution"]))
+        costs: dict[int, DiscreteDistribution] = {}
+        for raw_id, payload in data["costs"].items():
+            edge_id = int(raw_id)
+            table._check_edge_id(edge_id)
+            costs[edge_id] = DiscreteDistribution(
+                int(payload["offset"]),
+                [float(p) for p in payload["probs"]],
+                normalize=False,
+            )
+        version = data["version"]
+        if isinstance(version, bool) or not isinstance(version, numbers.Integral):
+            raise ValueError(f"cost_table version must be an integer, got {version!r}")
+        table._versioned = (costs, int(version))
+        return table
+
+    def restore(self, data: Mapping[str, Any]) -> int:
+        """Atomically replace this table's contents with a :meth:`to_dict` dump.
+
+        The in-place counterpart of :meth:`from_dict` for live tables a
+        service engine already wraps: the dumped histograms *and version*
+        are validated off to the side and then published as one new
+        ``(table, version)`` cell — concurrent readers see either the old
+        table or the restored one, never a mixture.  The dump's resolution
+        must match this table's.  Returns the restored version.
+        """
+        if float(data["resolution"]) != self.resolution:
+            raise ValueError(
+                f"cost_table dump has resolution {data['resolution']!r}, "
+                f"this table serves {self.resolution!r}"
+            )
+        rebuilt = EdgeCostTable.from_dict(self.network, data)
+        self._versioned = rebuilt._versioned
         return self.version
 
     def copy(self) -> "EdgeCostTable":

@@ -1,15 +1,27 @@
-"""Model persistence: save/load a trained hybrid to a directory.
+"""Persistence: trained hybrids and service snapshots on disk.
 
-Format: one ``model.npz`` holding every numeric array (MLP weights, scalers,
-classifier coefficients, edge-cost histograms, intersection stats) plus a
-``meta.json`` with configuration and layout, so a trained model can be reused
-across experiment runs without retraining.
+Two independent envelopes live here:
+
+* **trained hybrids** (:func:`save_hybrid` / :func:`load_hybrid`) — one
+  ``model.npz`` holding every numeric array (MLP weights, scalers,
+  classifier coefficients, edge-cost histograms, intersection stats) plus
+  a ``meta.json`` with configuration and layout, so a trained model can be
+  reused across experiment runs without retraining;
+* **service snapshots** (:func:`save_service_snapshot` /
+  :func:`load_service_snapshot`) — the kind-tagged JSON document
+  :meth:`repro.service.RoutingService.snapshot` produces (per-slice cost
+  tables with their exact versions, the update-feed position, optionally a
+  cache dump), written as one self-describing file.  The document is plain
+  JSON all the way down, so a blue/green successor on another host can
+  :meth:`~repro.service.RoutingService.restore` from it byte-for-byte —
+  Python floats round-trip exactly through JSON.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -22,9 +34,65 @@ from .estimator import DistributionEstimator, EstimatorConfig
 from .features import FeatureConfig, IntersectionStats, PairFeatureExtractor
 from .training import TrainedHybrid, TrainingReport
 
-__all__ = ["save_hybrid", "load_hybrid"]
+__all__ = [
+    "load_hybrid",
+    "load_service_snapshot",
+    "save_hybrid",
+    "save_service_snapshot",
+]
 
 _FORMAT_VERSION = 1
+
+#: Format version of the service-snapshot envelope.  Must match the value
+#: :meth:`repro.service.RoutingService.snapshot` stamps into documents
+#: (the service module keeps its own copy to avoid importing this module's
+#: heavyweight model-persistence dependencies on the request path).
+_SERVICE_SNAPSHOT_FORMAT = 1
+
+
+def _check_service_snapshot(document: Mapping[str, Any]) -> None:
+    """Reject anything that is not a current-format service snapshot."""
+    if not isinstance(document, Mapping):
+        raise ValueError("a service snapshot must be a JSON object")
+    if document.get("kind") != "service_snapshot":
+        raise ValueError(
+            "expected a service_snapshot document, got "
+            f"kind={document.get('kind')!r}"
+        )
+    if document.get("format_version") != _SERVICE_SNAPSHOT_FORMAT:
+        raise ValueError(
+            "unsupported service snapshot format: "
+            f"{document.get('format_version')!r} "
+            f"(this build reads format {_SERVICE_SNAPSHOT_FORMAT})"
+        )
+
+
+def save_service_snapshot(
+    document: Mapping[str, Any], path: str | Path
+) -> Path:
+    """Write one service-snapshot document to ``path`` as JSON.
+
+    The document is validated (kind tag and format version) *before*
+    anything is written, so a typo'd payload cannot shadow a good snapshot
+    file.  Returns the path written.
+    """
+    _check_service_snapshot(document)
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document))
+    return path
+
+
+def load_service_snapshot(path: str | Path) -> dict[str, Any]:
+    """Read and validate a snapshot written by :func:`save_service_snapshot`.
+
+    Hand the returned document to
+    :meth:`repro.service.RoutingService.restore`.
+    """
+    document = json.loads(Path(path).read_text())
+    _check_service_snapshot(document)
+    return document
 
 
 def save_hybrid(trained: TrainedHybrid, directory: str | Path) -> None:

@@ -554,6 +554,17 @@ class RoutingEngine:
             instance = self._strategies.setdefault(name, cls())
         return instance
 
+    def supports_time_limit(self, name: str) -> bool:
+        """Whether strategy ``name`` honours ``time_limit_seconds``.
+
+        The serving layer's degradation ladder keys off this: a strategy
+        that can bound its own latency is run with the request's remaining
+        deadline as a cooperative limit, while one that cannot is run as-is
+        and only judged afterwards.  Unknown names raise, exactly like
+        :meth:`strategy`.
+        """
+        return self.strategy(name).supports_time_limit
+
     def heuristic_for(self, target: int) -> OptimisticHeuristic:
         """The shared optimistic heuristic for ``target`` (LRU-cached)."""
         return OptimisticHeuristic.shared(self.network, self.combiner.costs, target)

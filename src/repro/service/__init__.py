@@ -9,12 +9,29 @@ locks), departure-time scenarios (named time-of-day cost-table slices
 behind a :class:`ScenarioSchedule`) and a JSON request/response wire
 protocol with :class:`ServiceStats` observability.
 :class:`ThreadedFrontend` drives one service from a worker pool over a
-request queue — the concurrent deployment shape.  See PERFORMANCE.md
-("Serving layer" and "Concurrent serving") for the cache-key,
-invalidation and locking design.
+request queue — the concurrent deployment shape.
+
+The resilience layer rides on top: request deadlines degrade down a
+ladder instead of blocking (``deadline_ms`` on the wire, with
+:class:`DeadlineExceededError` / :class:`NoRouteError` and stable
+``error_kind`` wire codes), a per-strategy :class:`CircuitBreaker` stops
+pathological strategies from eating worker time,
+:meth:`RoutingService.snapshot` / :meth:`~RoutingService.restore` give
+blue/green handover with bit-identical answers, and
+:class:`FaultInjector` + :class:`RetryPolicy` are the deterministic
+harness that proves all of it under injected crashes, stalls, poisoned
+feeds and clock skew.  See PERFORMANCE.md ("Serving layer", "Concurrent
+serving" and "Resilient serving") for the design.
 """
 
 from .cache import ResultCache, freeze_kwargs
+from .errors import (
+    DeadlineExceededError,
+    FrontendClosedError,
+    NoRouteError,
+    error_kind,
+)
+from .faults import CircuitBreaker, FaultInjector, InjectedFault, RetryPolicy
 from .frontend import FrontendStats, ThreadedFrontend
 from .scenarios import (
     DAY_SECONDS,
@@ -25,6 +42,7 @@ from .scenarios import (
 )
 from .service import (
     DEFAULT_SLICE,
+    SERVICE_SNAPSHOT_FORMAT,
     RoutingService,
     ServedBatch,
     ServedResult,
@@ -35,14 +53,21 @@ from .sync import ReadWriteLock
 from .updates import CostUpdate
 
 __all__ = [
+    "CircuitBreaker",
     "CostUpdate",
     "DAY_SECONDS",
     "DEFAULT_SLICE",
     "DEFAULT_SLICE_WEIGHTS",
+    "DeadlineExceededError",
+    "FaultInjector",
+    "FrontendClosedError",
     "FrontendStats",
+    "InjectedFault",
+    "NoRouteError",
     "ReadWriteLock",
     "ResultCache",
     "RoutingService",
+    "SERVICE_SNAPSHOT_FORMAT",
     "ScenarioSchedule",
     "ServedBatch",
     "ServedResult",
@@ -50,6 +75,7 @@ __all__ = [
     "StrategyLatency",
     "ThreadedFrontend",
     "TimeSlice",
+    "error_kind",
     "freeze_kwargs",
     "time_sliced_cost_tables",
 ]

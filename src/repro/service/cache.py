@@ -253,6 +253,21 @@ class ResultCache:
                 )
             setattr(self, counter, current - count)
 
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """A point-in-time list of live ``(key, value)`` pairs, LRU order.
+
+        Oldest first, expired entries omitted.  A read-only snapshot for
+        :meth:`repro.service.RoutingService.snapshot`'s cache dump: no
+        counters move and no recency reordering happens.
+        """
+        with self._lock:
+            now = self._clock()
+            return [
+                (key, value)
+                for key, (value, deadline) in self._entries.items()
+                if deadline is None or now < deadline
+            ]
+
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         with self._lock:

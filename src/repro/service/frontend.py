@@ -17,10 +17,18 @@ sustains a large client count.  The service below it guarantees the rest:
 per-slice read-write locks keep every answer snapshot-consistent with the
 cost-table version it is tagged with, however many workers are in flight.
 
-The frontend inherits the service's always-answer contract: a worker
-never dies on a bad request — malformed documents come back as
-``{"ok": false, ...}`` error documents through the future, and a failing
-``deliver`` hook marks only that one future.
+The frontend inherits the service's always-answer contract and hardens
+it: a worker never dies on a bad request — malformed documents come back
+as ``{"ok": false, ...}`` error documents through the future, a failing
+``deliver`` hook marks only that one future, and an exception that
+escapes the service anyway (in practice only an injected fault from a
+:class:`~repro.service.faults.FaultInjector`) is retried under the
+frontend's :class:`~repro.service.faults.RetryPolicy` before it becomes
+an ``error_kind: "internal"`` document.  A request's ``deadline_ms`` is
+charged for its queue wait: the service sees only the budget that is
+actually left, so a request that aged out in the queue degrades
+immediately instead of burning a worker on a search it cannot finish in
+time.
 """
 
 from __future__ import annotations
@@ -28,9 +36,12 @@ from __future__ import annotations
 import numbers
 import queue
 import threading
+import time
 from concurrent.futures import Future
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from .errors import FrontendClosedError, error_kind
+from .faults import FaultInjector, RetryPolicy
 from .service import RoutingService
 
 __all__ = ["FrontendStats", "ThreadedFrontend"]
@@ -45,6 +56,7 @@ class FrontendStats:
         self.completed = 0
         self.delivery_failures = 0
         self.cancelled = 0
+        self.retries = 0
 
     def _bump(self, field: str) -> None:
         with self._lock:
@@ -57,6 +69,7 @@ class FrontendStats:
                 "completed": self.completed,
                 "delivery_failures": self.delivery_failures,
                 "cancelled": self.cancelled,
+                "retries": self.retries,
             }
 
 
@@ -78,6 +91,21 @@ class ThreadedFrontend:
         Optional hook called by the worker with ``(request, response)``
         after computing each response — the "write it back to the client"
         step.  A raising hook fails that request's future only.
+    faults:
+        Optional :class:`~repro.service.faults.FaultInjector` every request
+        passes through before the service sees it — the test harness for
+        the resilience machinery.  ``None`` (production) injects nothing.
+    retry:
+        The :class:`~repro.service.faults.RetryPolicy` wrapped around each
+        request for exceptions that escape the service (injected crashes;
+        the service itself answers everything else as a document).
+    clock:
+        Monotonic time source for deadline/queue-wait arithmetic.  Defaults
+        to the injector's (possibly skewed) clock when ``faults`` is set,
+        else ``time.monotonic``.
+    sleep:
+        How retry backoff waits; injectable so retry tests take no wall
+        time.
 
     Use as a context manager (``with ThreadedFrontend(service) as fe:``)
     or call :meth:`start` / :meth:`close` explicitly.  ``close`` drains by
@@ -93,6 +121,10 @@ class ThreadedFrontend:
         num_workers: int = 4,
         max_pending: int = 0,
         deliver: Callable[[Mapping[str, Any], dict[str, Any]], None] | None = None,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        clock: Callable[[], float] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if (
             isinstance(num_workers, bool)
@@ -113,6 +145,18 @@ class ThreadedFrontend:
         self.service = service
         self.num_workers = int(num_workers)
         self.deliver = deliver
+        self.faults = faults
+        self.retry = RetryPolicy() if retry is None else retry
+        if not isinstance(self.retry, RetryPolicy):
+            raise TypeError(
+                f"retry must be a RetryPolicy, got {type(self.retry).__name__}"
+            )
+        if clock is None:
+            # Under injected clock skew the frontend must *feel* the skew,
+            # or the deadline arithmetic under test would read true time.
+            clock = faults.now if faults is not None else time.monotonic
+        self._clock = clock
+        self._sleep = sleep
         self.stats = FrontendStats()
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=int(max_pending))
         self._workers: list[threading.Thread] = []
@@ -128,7 +172,7 @@ class ThreadedFrontend:
         """Spawn the worker pool (idempotent until :meth:`close`)."""
         with self._state_lock:
             if self._closed:
-                raise RuntimeError("frontend is closed and cannot restart")
+                raise FrontendClosedError("frontend is closed and cannot restart")
             if self._started:
                 return self
             self._started = True
@@ -168,7 +212,7 @@ class ThreadedFrontend:
                 except queue.Empty:
                     break
                 if item is not self._STOP:
-                    _, future = item
+                    _, future, _ = item
                     if future.cancel():
                         self.stats._bump("cancelled")
         for _ in self._workers:
@@ -191,18 +235,18 @@ class ThreadedFrontend:
         """Enqueue one wire request; the future resolves to its response.
 
         Blocks only when ``max_pending`` is set and the queue is full
-        (backpressure).  Raises ``RuntimeError`` if the frontend was never
-        started or is closing — a dropped-on-the-floor request must be
-        loud, not a forever-pending future.
+        (backpressure).  Raises :class:`FrontendClosedError` if the
+        frontend was never started or is closing — a dropped-on-the-floor
+        request must be loud, not a forever-pending future.
         """
         with self._state_lock:
             if not self._started or self._closed:
-                raise RuntimeError(
+                raise FrontendClosedError(
                     "frontend is not accepting requests (start() it first; "
                     "closed frontends stay closed)"
                 )
         future: "Future[dict[str, Any]]" = Future()
-        self._queue.put((request, future))
+        self._queue.put((request, future, self._clock()))
         # close() may have begun between the check above and the put.  If it
         # did, our item either (a) landed before close's sentinels/drain and
         # a worker will still serve it, or (b) will never be picked up — in
@@ -212,7 +256,9 @@ class ThreadedFrontend:
             closed_underfoot = self._closed
         if closed_underfoot and future.cancel():
             self.stats._bump("cancelled")
-            raise RuntimeError("frontend closed while the request was queued")
+            raise FrontendClosedError(
+                "frontend closed while the request was queued"
+            )
         self.stats._bump("submitted")
         return future
 
@@ -236,20 +282,80 @@ class ThreadedFrontend:
     # Worker side
     # ------------------------------------------------------------------
 
+    def _against_queue_wait(
+        self, request: Mapping[str, Any], arrival: float
+    ) -> Mapping[str, Any]:
+        """Charge the time spent queued against the request's deadline.
+
+        The client's ``deadline_ms`` started ticking at :meth:`submit`,
+        not when a worker finally picked the request up — so the service
+        receives the budget that is actually left.  It may be negative:
+        the service treats an expired budget as a valid request that goes
+        straight to the stale rung.  Requests without a numeric deadline
+        pass through untouched (a malformed one fails validation at the
+        service, as it would have anyway).
+        """
+        raw = request.get("deadline_ms")
+        if (
+            raw is None
+            or isinstance(raw, bool)
+            or not isinstance(raw, numbers.Real)
+        ):
+            return request
+        waited_ms = (self._clock() - arrival) * 1000.0
+        adjusted = dict(request)
+        adjusted["deadline_ms"] = float(raw) - waited_ms
+        return adjusted
+
+    def _serve(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """One request through fault injection and retry-with-backoff.
+
+        The service's own ``handle_request`` already answers every failure
+        as a document, so the only exceptions this loop sees escape
+        *around* the service — injected crashes from the fault harness (or
+        a genuine frontend bug).  Each attempt rolls fresh fault dice;
+        exhausted retries become an ``error_kind: "internal"`` document,
+        honouring the always-answer contract end to end.
+        """
+        last_error: Exception | None = None
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                self.stats._bump("retries")
+                delay = self.retry.delay_before_retry(attempt - 1)
+                if delay > 0:
+                    self._sleep(delay)
+            try:
+                to_serve = request
+                if self.faults is not None:
+                    to_serve = self.faults.before_request(request)
+                return self.service.handle_request(to_serve)
+            except Exception as exc:
+                last_error = exc
+        return {
+            "ok": False,
+            "error": f"{type(last_error).__name__}: {last_error}",
+            "error_kind": error_kind(last_error),
+        }
+
     def _worker_loop(self) -> None:
         while True:
             item = self._queue.get()
             if item is self._STOP:
                 return
-            request, future = item
+            request, future, arrival = item
             if not future.set_running_or_notify_cancel():
                 continue  # cancelled by close(drain=False) before we got it
             try:
-                response = self.service.handle_request(request)
-            except BaseException as exc:  # pragma: no cover - handle_request
-                # answers everything; this is belt-and-braces so a worker
-                # thread can never die and silently shrink the pool.
+                response = self._serve(self._against_queue_wait(request, arrival))
+            except BaseException as exc:  # pragma: no cover - _serve answers
+                # every Exception; this is belt-and-braces so a worker can
+                # never die and silently shrink the pool...
                 future.set_exception(exc)
+                if not isinstance(exc, Exception):
+                    # ...but KeyboardInterrupt / SystemExit must still
+                    # unwind the thread, never be swallowed into a zombie
+                    # worker that looks alive and serves nothing.
+                    raise
                 continue
             if self.deliver is not None:
                 try:
@@ -257,6 +363,8 @@ class ThreadedFrontend:
                 except BaseException as exc:
                     self.stats._bump("delivery_failures")
                     future.set_exception(exc)
+                    if not isinstance(exc, Exception):
+                        raise
                     continue
             future.set_result(response)
             self.stats._bump("completed")

@@ -50,12 +50,15 @@ from ..routing import (
     result_from_dict,
 )
 from .cache import ResultCache, check_ttl_seconds, freeze_kwargs
+from .errors import DeadlineExceededError, NoRouteError, error_kind
+from .faults import CircuitBreaker
 from .scenarios import ScenarioSchedule
 from .sync import ReadWriteLock
 from .updates import CostUpdate
 
 __all__ = [
     "DEFAULT_SLICE",
+    "SERVICE_SNAPSHOT_FORMAT",
     "RoutingService",
     "ServedBatch",
     "ServedResult",
@@ -66,8 +69,39 @@ __all__ = [
 #: Name of the slice a plain single-table service routes on.
 DEFAULT_SLICE = "default"
 
+#: Format version stamped into :meth:`RoutingService.snapshot` documents.
+#: Kept in sync with ``repro.core.persistence._SERVICE_SNAPSHOT_FORMAT``
+#: (duplicated, not imported: persistence pulls the whole model-training
+#: dependency chain, which has no business on the serving path).
+SERVICE_SNAPSHOT_FORMAT = 1
+
 #: Any single-query answer the service can serve.
 ServiceAnswer = RoutingResult | MultiBudgetResult | KBestResult
+
+
+def _encode_key_part(value: Any) -> dict[str, Any]:
+    """JSON-encode one cache-key component, structure-preserving.
+
+    JSON has no tuples or frozensets, but cache keys are built from both
+    (:func:`~repro.service.cache.freeze_kwargs`), so each node is tagged:
+    ``{"t": [...]}`` tuple, ``{"f": [...]}`` frozenset, ``{"v": leaf}``
+    scalar.  Frozenset members are sorted by their encoded form purely for
+    a deterministic dump (sets are unordered on decode anyway).
+    """
+    if isinstance(value, tuple):
+        return {"t": [_encode_key_part(item) for item in value]}
+    if isinstance(value, frozenset):
+        return {"f": sorted((_encode_key_part(item) for item in value), key=repr)}
+    return {"v": value}
+
+
+def _decode_key_part(payload: Mapping[str, Any]) -> Any:
+    """Invert :func:`_encode_key_part` (exact round-trip)."""
+    if "t" in payload:
+        return tuple(_decode_key_part(item) for item in payload["t"])
+    if "f" in payload:
+        return frozenset(_decode_key_part(item) for item in payload["f"])
+    return payload["v"]
 
 
 @dataclass(frozen=True)
@@ -78,6 +112,14 @@ class ServedResult:
     after a hot swap a consumer can tell a stale (pre-update) answer from a
     fresh one without the service ever blocking.  ``result`` is ``None``
     exactly when the strategy declined to answer (never cached).
+
+    ``degraded`` marks an answer the degradation ladder produced instead of
+    the requested computation completing within its deadline;
+    ``fallback_strategy`` says which rung served it: ``"anytime"`` (the
+    overrunning search's best pivot so far), ``"expected_time"`` (the
+    deterministic fallback), or ``"stale_cache"`` (a previous-version cache
+    entry, tagged with the version it was computed under).  Non-degraded
+    answers carry ``fallback_strategy=None``.
     """
 
     result: ServiceAnswer | None
@@ -85,6 +127,8 @@ class ServedResult:
     cost_version: int
     slice_name: str
     strategy: str
+    degraded: bool = False
+    fallback_strategy: str | None = None
 
     @property
     def found(self) -> bool:
@@ -98,6 +142,8 @@ class ServedResult:
             "strategy": self.strategy,
             "cache_hit": self.cache_hit,
             "cost_version": self.cost_version,
+            "degraded": self.degraded,
+            "fallback_strategy": self.fallback_strategy,
             "result": None if self.result is None else self.result.to_dict(),
         }
 
@@ -112,6 +158,9 @@ class ServedResult:
             cost_version=int(data["cost_version"]),
             slice_name=data["slice"],
             strategy=data["strategy"],
+            # Absent in pre-resilience documents: default to non-degraded.
+            degraded=bool(data.get("degraded", False)),
+            fallback_strategy=data.get("fallback_strategy"),
         )
 
 
@@ -123,6 +172,13 @@ class ServedBatch:
     search, which is the point.  ``cache_hits + cache_misses`` equals the
     batch length for cacheable requests; time-limited requests bypass the
     cache entirely and count every member as a miss.
+
+    ``degraded`` is set when the batch ran under a request deadline and at
+    least one miss member did not complete within it (its answer is the
+    anytime pivot, or ``None`` when the deadline had already expired
+    before the search began).  Batches do not walk the single-query
+    degradation ladder — partial answers plus the flag are the batch-shaped
+    degradation.
     """
 
     batch: BatchResult
@@ -131,6 +187,7 @@ class ServedBatch:
     cost_version: int
     slice_name: str
     strategy: str
+    degraded: bool = False
 
     def __len__(self) -> int:
         return len(self.batch)
@@ -150,6 +207,7 @@ class ServedBatch:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cost_version": self.cost_version,
+            "degraded": self.degraded,
             "batch": self.batch.to_dict(),
         }
 
@@ -164,6 +222,7 @@ class ServedBatch:
             cost_version=int(data["cost_version"]),
             slice_name=data["slice"],
             strategy=data["strategy"],
+            degraded=bool(data.get("degraded", False)),
         )
 
 
@@ -215,6 +274,11 @@ class ServiceStats:
     cache_entries: int = 0
     admission_skips: int = 0
     updates_applied: int = 0
+    deadline_misses: int = 0
+    served_degraded: int = 0
+    served_stale: int = 0
+    breaker_trips: int = 0
+    breakers: dict[str, str] = field(default_factory=dict)
     strategies: dict[str, StrategyLatency] = field(default_factory=dict)
 
     @property
@@ -234,6 +298,11 @@ class ServiceStats:
             "cache_entries": self.cache_entries,
             "admission_skips": self.admission_skips,
             "updates_applied": self.updates_applied,
+            "deadline_misses": self.deadline_misses,
+            "served_degraded": self.served_degraded,
+            "served_stale": self.served_stale,
+            "breaker_trips": self.breaker_trips,
+            "breakers": dict(sorted(self.breakers.items())),
             "hit_rate": self.hit_rate,
             "strategies": {
                 name: latency.to_dict()
@@ -254,6 +323,15 @@ class ServiceStats:
             cache_entries=int(data["cache_entries"]),
             admission_skips=int(data.get("admission_skips", 0)),
             updates_applied=int(data["updates_applied"]),
+            # Absent in pre-resilience documents: zero / no breakers.
+            deadline_misses=int(data.get("deadline_misses", 0)),
+            served_degraded=int(data.get("served_degraded", 0)),
+            served_stale=int(data.get("served_stale", 0)),
+            breaker_trips=int(data.get("breaker_trips", 0)),
+            breakers={
+                str(name): str(state)
+                for name, state in data.get("breakers", {}).items()
+            },
             strategies={
                 name: StrategyLatency.from_dict(payload)
                 for name, payload in data.get("strategies", {}).items()
@@ -292,6 +370,19 @@ class RoutingService:
     recomputing it costs less than the cache slot it would occupy (an LRU
     slot evicted from a popular expensive answer).  ``0.0`` admits
     everything.
+
+    **Resilience** (see PERFORMANCE.md "Resilient serving"): a request may
+    carry a deadline (:meth:`route`'s ``deadline_seconds``, ``deadline_ms``
+    on the wire).  The engine's anytime machinery becomes a cooperative
+    time limit, and an overrunning search degrades down a ladder — best
+    anytime pivot, then the deterministic ``expected_time`` fallback, then
+    a stale-but-version-tagged cache entry — instead of blocking a worker.
+    A per-strategy :class:`~repro.service.faults.CircuitBreaker` trips on
+    ``breaker_failure_threshold`` consecutive deadline misses and
+    fast-fails that strategy onto the fallback rungs for
+    ``breaker_cooldown_seconds``, probing half-open afterwards.  ``clock``
+    is the monotonic time source for deadlines, TTLs and breakers —
+    injectable so every one of those behaviours tests deterministically.
     """
 
     def __init__(
@@ -305,6 +396,9 @@ class RoutingService:
         max_cache_entries: int = 4096,
         cache_ttl_seconds: float | None = None,
         admission_min_compute_seconds: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+        breaker_failure_threshold: int = 5,
+        breaker_cooldown_seconds: float = 1.0,
     ) -> None:
         if not (
             isinstance(admission_min_compute_seconds, numbers.Real)
@@ -320,17 +414,39 @@ class RoutingService:
         self.default_slice = slice_name
         self.schedule = schedule
         self._pruning = pruning
+        self._clock = clock
         self._engines: dict[str, RoutingEngine] = {}
         self._slice_locks: dict[str, ReadWriteLock] = {}
         self._cache = ResultCache(
-            max_entries=max_cache_entries, ttl_seconds=cache_ttl_seconds
+            max_entries=max_cache_entries,
+            ttl_seconds=cache_ttl_seconds,
+            clock=clock,
         )
+        # The degradation ladder's last rung: the freshest answer ever
+        # admitted per (slice, strategy, query, kwargs) *regardless of cost
+        # version*, stored together with the version it was computed under.
+        # No TTL — "stale but tagged" is the whole point of the rung.
+        self._stale = ResultCache(max_entries=max_cache_entries, clock=clock)
         self.admission_min_compute_seconds = float(admission_min_compute_seconds)
+        # Validate the breaker knobs now (one throwaway instance) so a bad
+        # configuration fails at construction, not on the first deadline.
+        CircuitBreaker(
+            failure_threshold=breaker_failure_threshold,
+            cooldown_seconds=breaker_cooldown_seconds,
+            clock=clock,
+        )
+        self._breaker_failure_threshold = breaker_failure_threshold
+        self._breaker_cooldown_seconds = breaker_cooldown_seconds
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._stats_lock = threading.Lock()
         self._latency: dict[str, StrategyLatency] = {}
         self._requests = 0
         self._updates_applied = 0
+        self._last_update_sequence: int | None = None
         self._admission_skips = 0
+        self._deadline_misses = 0
+        self._served_degraded = 0
+        self._served_stale = 0
         self.add_slice(slice_name, combiner)
 
     @classmethod
@@ -346,6 +462,9 @@ class RoutingService:
         max_cache_entries: int = 4096,
         cache_ttl_seconds: float | None = None,
         admission_min_compute_seconds: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+        breaker_failure_threshold: int = 5,
+        breaker_cooldown_seconds: float = 1.0,
     ) -> "RoutingService":
         """Build a scenario service from named per-slice cost tables.
 
@@ -372,6 +491,9 @@ class RoutingService:
             max_cache_entries=max_cache_entries,
             cache_ttl_seconds=cache_ttl_seconds,
             admission_min_compute_seconds=admission_min_compute_seconds,
+            clock=clock,
+            breaker_failure_threshold=breaker_failure_threshold,
+            breaker_cooldown_seconds=breaker_cooldown_seconds,
         )
         for name, table in slice_tables.items():
             if name != first:
@@ -441,6 +563,7 @@ class RoutingService:
         slice_name: str | None = None,
         time_limit_seconds: float | None = None,
         cache_ttl_seconds: float | None = None,
+        deadline_seconds: float | None = None,
         **kwargs: Any,
     ) -> ServedResult:
         """Answer one query, served from cache when possible.
@@ -452,6 +575,19 @@ class RoutingService:
         into a key.  ``cache_ttl_seconds`` gives this request's answer its
         own expiry instead of the service default; answers whose search ran
         faster than ``admission_min_compute_seconds`` are not cached at all.
+
+        ``deadline_seconds`` (``deadline_ms / 1000`` on the wire) is the
+        request's remaining time budget.  Unlike ``time_limit_seconds`` it
+        does not bypass the cache — a fresh hit is the fastest possible
+        answer — and an overrunning search *degrades* down the ladder
+        instead of simply returning an incomplete answer: best anytime
+        pivot (``fallback_strategy="anytime"``), then the deterministic
+        ``expected_time`` route, then a stale previous-version cache entry,
+        and only then :class:`DeadlineExceededError`.  A non-positive
+        deadline means "already expired" (queue wait ate it) and goes
+        straight to the stale rung.  Enforcement is cooperative: the search
+        checks the clock once per label expansion, so an overrun is bounded
+        by one expansion quantum.
 
         The whole lookup-compute-cache sequence holds the slice's read
         lock: concurrent requests proceed together, while a concurrent
@@ -466,13 +602,22 @@ class RoutingService:
         # strategy registry.
         engine.strategy(strategy)
         ttl = self._check_request_ttl(cache_ttl_seconds)
+        if deadline_seconds is not None:
+            return self._route_with_deadline(
+                name,
+                engine,
+                query,
+                strategy,
+                self._check_deadline(deadline_seconds),
+                time_limit_seconds,
+                ttl,
+                kwargs,
+            )
         begin = time.perf_counter()
         with self._slice_locks[name].read_locked():
             version = engine.cost_version
-            key = self._cache_key(
-                name, strategy, query,
-                self._key_extras(time_limit_seconds, kwargs), version,
-            )
+            extras = self._key_extras(time_limit_seconds, kwargs)
+            key = self._cache_key(name, strategy, query, extras, version)
             if key is not None:
                 cached = self._cache.get(key)
                 if cached is not None:
@@ -497,8 +642,199 @@ class RoutingService:
                 self._record(strategy, time.perf_counter() - begin)
             if key is not None and result is not None:
                 # Admission judges pure search time, not queueing/lock wait.
-                self._admit(key, result, time.perf_counter() - compute_begin, ttl)
+                self._admit(
+                    key,
+                    result,
+                    time.perf_counter() - compute_begin,
+                    ttl,
+                    stale_key=self._stale_key(name, strategy, query, extras),
+                    version=version,
+                )
             return ServedResult(result, False, version, name, strategy)
+
+    def _route_with_deadline(
+        self,
+        name: str,
+        engine: RoutingEngine,
+        query: RoutingQuery,
+        strategy: str,
+        deadline_seconds: float,
+        time_limit_seconds: float | None,
+        ttl: float | None,
+        kwargs: Mapping[str, Any],
+    ) -> ServedResult:
+        """The degradation ladder (see :meth:`route` for the contract).
+
+        Every return path records exactly one request under ``strategy``
+        and leaves the cache counters exact: a ladder outcome that serves
+        an answer keeps its miss counted (the fresh cache really did not
+        have it), while a request that fails outright refunds it.
+        """
+        begin = time.perf_counter()
+        deadline_at = self._clock() + deadline_seconds
+        with self._slice_locks[name].read_locked():
+            version = engine.cost_version
+            extras = self._key_extras(time_limit_seconds, kwargs)
+            key = self._cache_key(name, strategy, query, extras, version)
+            stale_key = self._stale_key(name, strategy, query, extras)
+            if key is not None:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    # Rung 0: a fresh hit beats any deadline.
+                    self._record(strategy, time.perf_counter() - begin)
+                    return ServedResult(cached, True, version, name, strategy)
+            breaker = self._breaker(strategy)
+            remaining = deadline_at - self._clock()
+            if remaining > 0 and breaker.allow():
+                # Rung 1: the bounded primary search.  Strategies that
+                # support a time limit get the remaining budget as a
+                # cooperative limit; ones that cannot run as-is and are
+                # judged by their (always-completed) stats afterwards.
+                if engine.supports_time_limit(strategy):
+                    limit = (
+                        remaining
+                        if time_limit_seconds is None
+                        else min(remaining, time_limit_seconds)
+                    )
+                else:
+                    limit = time_limit_seconds
+                compute_begin = time.perf_counter()
+                try:
+                    result = engine.route(
+                        query,
+                        strategy=strategy,
+                        time_limit_seconds=limit,
+                        **kwargs,
+                    )
+                except BaseException:
+                    if key is not None:
+                        self._cache.refund_miss()
+                    self._record(strategy, time.perf_counter() - begin)
+                    raise
+                if result is not None and result.stats.completed:
+                    # The search finished within its budget: a normal
+                    # answer, cacheable (a completed bounded search is
+                    # bit-identical to an unbounded one).
+                    breaker.record_success()
+                    if key is not None:
+                        self._admit(
+                            key,
+                            result,
+                            time.perf_counter() - compute_begin,
+                            ttl,
+                            stale_key=stale_key,
+                            version=version,
+                        )
+                    self._record(strategy, time.perf_counter() - begin)
+                    return ServedResult(result, False, version, name, strategy)
+                # The deadline bit: count the miss, feed the breaker.
+                breaker.record_failure()
+                with self._stats_lock:
+                    self._deadline_misses += 1
+                if result is not None and result.found:
+                    # Rung 1 answer: the anytime pivot — never cached (it
+                    # depends on how far the search got, not on the query).
+                    with self._stats_lock:
+                        self._served_degraded += 1
+                    self._record(strategy, time.perf_counter() - begin)
+                    return ServedResult(
+                        result,
+                        False,
+                        version,
+                        name,
+                        strategy,
+                        degraded=True,
+                        fallback_strategy="anytime",
+                    )
+            elif remaining <= 0:
+                # The deadline expired before any search could start
+                # (typically queue wait) — that is a deadline miss too, but
+                # not the strategy's failure: the breaker stays untouched.
+                with self._stats_lock:
+                    self._deadline_misses += 1
+                return self._serve_stale(
+                    name, strategy, key, stale_key, begin,
+                    deadline_seconds=deadline_seconds,
+                )
+            # Rung 2: the deterministic fallback (skipped when it *is* the
+            # requested strategy — it just ran above).  Open breaker lands
+            # here directly: fast, bounded, good enough until the probe
+            # says the primary recovered.
+            if strategy != "expected_time":
+                try:
+                    fallback = engine.route(query, strategy="expected_time")
+                except BaseException:
+                    if key is not None:
+                        self._cache.refund_miss()
+                    self._record(strategy, time.perf_counter() - begin)
+                    raise
+                if fallback is not None and fallback.found:
+                    with self._stats_lock:
+                        self._served_degraded += 1
+                    self._record(strategy, time.perf_counter() - begin)
+                    return ServedResult(
+                        fallback,
+                        False,
+                        version,
+                        name,
+                        strategy,
+                        degraded=True,
+                        fallback_strategy="expected_time",
+                    )
+                if fallback is not None and not fallback.found:
+                    # Definitive: even the deterministic fallback cannot
+                    # reach the target — no rung below can either.
+                    if key is not None:
+                        self._cache.refund_miss()
+                    self._record(strategy, time.perf_counter() - begin)
+                    raise NoRouteError(
+                        f"no route from {query.source} to {query.target} "
+                        f"exists on slice {name!r}"
+                    )
+            return self._serve_stale(
+                name, strategy, key, stale_key, begin,
+                deadline_seconds=deadline_seconds,
+            )
+
+    def _serve_stale(
+        self,
+        name: str,
+        strategy: str,
+        key: tuple | None,
+        stale_key: tuple | None,
+        begin: float,
+        *,
+        deadline_seconds: float,
+    ) -> ServedResult:
+        """Rung 3: a stale-but-tagged entry, or :class:`DeadlineExceededError`.
+
+        The served document carries the *old* cost version the answer was
+        computed under — stale is explicit, never silent.
+        """
+        if stale_key is not None:
+            stale = self._stale.get(stale_key)
+            if stale is not None:
+                answer, stale_version = stale
+                with self._stats_lock:
+                    self._served_degraded += 1
+                    self._served_stale += 1
+                self._record(strategy, time.perf_counter() - begin)
+                return ServedResult(
+                    answer,
+                    True,
+                    stale_version,
+                    name,
+                    strategy,
+                    degraded=True,
+                    fallback_strategy="stale_cache",
+                )
+        if key is not None:
+            self._cache.refund_miss()
+        self._record(strategy, time.perf_counter() - begin)
+        raise DeadlineExceededError(
+            f"deadline of {deadline_seconds * 1000.0:.1f} ms expired with "
+            f"no answer on any degradation rung (strategy {strategy!r})"
+        )
 
     def route_at(
         self,
@@ -508,6 +844,7 @@ class RoutingService:
         strategy: str = "pbr",
         time_limit_seconds: float | None = None,
         cache_ttl_seconds: float | None = None,
+        deadline_seconds: float | None = None,
         **kwargs: Any,
     ) -> ServedResult:
         """Answer one query for a given departure time.
@@ -515,7 +852,8 @@ class RoutingService:
         The schedule picks the cost-table slice (peak / off-peak / night …)
         whose distributions describe traffic at that time of day; the
         request then serves exactly like :meth:`route` on that slice,
-        including its per-slice cache entries and heuristic reuse.
+        including its per-slice cache entries, heuristic reuse and the
+        deadline degradation ladder.
         """
         if self.schedule is None:
             raise ValueError(
@@ -528,6 +866,7 @@ class RoutingService:
             slice_name=self.schedule.slice_at(departure_time_seconds),
             time_limit_seconds=time_limit_seconds,
             cache_ttl_seconds=cache_ttl_seconds,
+            deadline_seconds=deadline_seconds,
             **kwargs,
         )
 
@@ -540,6 +879,7 @@ class RoutingService:
         time_limit_seconds: float | None = None,
         workers: int | None = None,
         cache_ttl_seconds: float | None = None,
+        deadline_seconds: float | None = None,
         **kwargs: Any,
     ) -> ServedBatch:
         """Serve a batch: answer hits from cache, route only the misses.
@@ -553,13 +893,29 @@ class RoutingService:
         split the batch across two tables.  Admission judges each member
         by the batch's mean per-miss search time (per-member wall clocks
         do not exist when workers shard the batch).
+
+        ``deadline_seconds`` bounds the whole batch: the remaining budget
+        at dispatch time is split evenly across the miss members as their
+        cooperative time limit.  A member whose search overran keeps its
+        anytime pivot (or ``None``); only completed members enter the
+        cache, and the batch document carries ``degraded: true``.  Batches
+        do not walk the single-query degradation ladder — partial answers
+        plus the flag are the batch-shaped degradation.
         """
         name = self._resolve_slice(slice_name)
         engine = self._engines[name]
         engine.strategy(strategy)  # unknown names raise before any counting
         ttl = self._check_request_ttl(cache_ttl_seconds)
+        if deadline_seconds is not None:
+            deadline_seconds = self._check_deadline(deadline_seconds)
+        deadline_at = (
+            None
+            if deadline_seconds is None
+            else self._clock() + deadline_seconds
+        )
         query_list = list(queries)
         begin = time.perf_counter()
+        degraded = False
         with self._slice_locks[name].read_locked():
             version = engine.cost_version
             results: list[ServiceAnswer | None] = [None] * len(query_list)
@@ -575,12 +931,43 @@ class RoutingService:
                 else:
                     miss_indices.append(index)
             if miss_indices:
+                limit = time_limit_seconds
+                if deadline_at is not None:
+                    remaining = deadline_at - self._clock()
+                    if remaining <= 0:
+                        # Expired before any search began: serve the hits,
+                        # leave every miss unanswered, flag the batch.
+                        with self._stats_lock:
+                            self._deadline_misses += 1
+                        self._cache.refund_miss(
+                            sum(1 for i in miss_indices if keys[i] is not None)
+                        )
+                        self._record(strategy, time.perf_counter() - begin)
+                        return ServedBatch(
+                            batch=BatchResult(
+                                results=tuple(results),
+                                stats=SearchStats.aggregate(()),
+                            ),
+                            cache_hits=len(query_list) - len(miss_indices),
+                            cache_misses=len(miss_indices),
+                            cost_version=version,
+                            slice_name=name,
+                            strategy=strategy,
+                            degraded=True,
+                        )
+                    if engine.supports_time_limit(strategy):
+                        per_member = remaining / len(miss_indices)
+                        limit = (
+                            per_member
+                            if limit is None
+                            else min(limit, per_member)
+                        )
                 compute_begin = time.perf_counter()
                 try:
                     sub_batch = engine.route_many(
                         [query_list[index] for index in miss_indices],
                         strategy=strategy,
-                        time_limit_seconds=time_limit_seconds,
+                        time_limit_seconds=limit,
                         workers=workers,
                         **kwargs,
                     )
@@ -600,8 +987,28 @@ class RoutingService:
                 ) / len(miss_indices)
                 for index, result in zip(miss_indices, sub_batch):
                     results[index] = result
-                    if keys[index] is not None and result is not None:
-                        self._admit(keys[index], result, mean_compute, ttl)
+                    if result is None:
+                        continue
+                    if deadline_at is not None and not result.stats.completed:
+                        # Overran its share of the budget: keep the pivot
+                        # for the caller, never cache it.
+                        degraded = True
+                        continue
+                    if keys[index] is not None:
+                        self._admit(
+                            keys[index],
+                            result,
+                            mean_compute,
+                            ttl,
+                            stale_key=self._stale_key(
+                                name, strategy, query_list[index], extras
+                            ),
+                            version=version,
+                        )
+                if degraded:
+                    with self._stats_lock:
+                        self._deadline_misses += 1
+                        self._served_degraded += 1
                 stats = sub_batch.stats
             else:
                 stats = SearchStats.aggregate(())
@@ -613,6 +1020,7 @@ class RoutingService:
                 cost_version=version,
                 slice_name=name,
                 strategy=strategy,
+                degraded=degraded,
             )
 
     # ------------------------------------------------------------------
@@ -634,16 +1042,37 @@ class RoutingService:
         any scan.  Answers already produced remain valid as of the
         ``cost_version`` they are tagged with.  An explicit ``slice_name``
         overrides the update's own target.  Returns the new version.
+
+        A *sequence-numbered* :class:`CostUpdate` also advances the
+        service's feed position: an update whose sequence is at or below
+        the highest already applied is skipped (the current version is
+        returned untouched), which makes replaying a whole feed over a
+        restored snapshot idempotent — the blue/green handover protocol.
+        Unnumbered updates always apply.
         """
         mapping = update.costs if isinstance(update, CostUpdate) else update
+        sequence = update.sequence if isinstance(update, CostUpdate) else None
         target = self._update_target(update, slice_name)
         engine = self._engines[target]
         # The write side of the slice lock: wait for in-flight requests
         # (whose answers stay correct under the version they already read),
         # then swap.  Writer preference in the lock keeps a busy request
-        # stream from starving the feed.
+        # stream from starving the feed.  The feed-position check lives
+        # under the same lock so concurrent replays cannot double-apply.
         with self._slice_locks[target].write_locked():
+            if sequence is not None:
+                with self._stats_lock:
+                    last = self._last_update_sequence
+                if last is not None and sequence <= last:
+                    # Already applied (snapshot taken at or after this
+                    # event): the replay is a no-op, not a double bump.
+                    return engine.cost_version
             new_version = engine.combiner.costs.apply_deltas(mapping)
+            if sequence is not None:
+                # Advance the feed position only once the batch really
+                # landed — a rejected batch must stay replayable.
+                with self._stats_lock:
+                    self._last_update_sequence = sequence
         with self._stats_lock:
             self._updates_applied += 1
         return new_version
@@ -661,6 +1090,120 @@ class RoutingService:
         if slice_name is None and isinstance(update, CostUpdate):
             slice_name = update.slice_name
         return self._resolve_slice(slice_name)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self, *, include_cache: bool = False) -> dict[str, Any]:
+        """The service's durable state as one JSON-ready document.
+
+        Captures every slice's cost table *with its exact version*
+        (:meth:`EdgeCostTable.to_dict`), the update-feed position
+        (highest :attr:`CostUpdate.sequence` applied), and — with
+        ``include_cache`` — a dump of the live result-cache entries.
+        Each table is read under its slice's read lock, so per-slice
+        state is coherent; cross-slice coherence against a concurrent
+        feed is the caller's to arrange (blue/green snapshots are taken
+        with the feed quiesced or replayed over the restored copy, which
+        the sequence skip makes idempotent).
+
+        Persist with :func:`repro.core.persistence.save_service_snapshot`;
+        hand the loaded document to :meth:`restore`.
+        """
+        slices: dict[str, Any] = {}
+        for name in self._engines:
+            with self._slice_locks[name].read_locked():
+                slices[name] = {
+                    "cost_table": self._engines[name].combiner.costs.to_dict(),
+                }
+        with self._stats_lock:
+            feed_position = self._last_update_sequence
+            updates_applied = self._updates_applied
+        document: dict[str, Any] = {
+            "kind": "service_snapshot",
+            "format_version": SERVICE_SNAPSHOT_FORMAT,
+            "default_slice": self.default_slice,
+            "schedule": (
+                None if self.schedule is None else self.schedule.to_dict()
+            ),
+            "feed_position": feed_position,
+            "updates_applied": updates_applied,
+            "slices": slices,
+        }
+        if include_cache:
+            document["cache"] = [
+                {"key": _encode_key_part(key), "result": answer.to_dict()}
+                for key, answer in self._cache.items()
+            ]
+        return document
+
+    def restore(self, document: Mapping[str, Any]) -> None:
+        """Adopt a :meth:`snapshot` document's state, slice by slice.
+
+        The service must be *shaped* like the one that snapshotted — same
+        network, same slice names, same default slice and schedule
+        (construct the successor exactly like the predecessor, then
+        restore).  Each slice's cost table is swapped in under the slice's
+        write lock with its dumped version, the feed position is adopted,
+        both caches are cleared, and any cache dump is re-installed — so
+        a restored successor answers byte-for-byte like the predecessor
+        did at snapshot time.  Replaying the update feed afterwards
+        brings it current: events at or below the feed position are
+        skipped (see :meth:`apply_cost_update`), later ones apply once.
+        """
+        if document.get("kind") != "service_snapshot":
+            raise ValueError(
+                "expected a service_snapshot document, got "
+                f"kind={document.get('kind')!r}"
+            )
+        if document.get("format_version") != SERVICE_SNAPSHOT_FORMAT:
+            raise ValueError(
+                "unsupported service snapshot format: "
+                f"{document.get('format_version')!r} (this build reads "
+                f"format {SERVICE_SNAPSHOT_FORMAT})"
+            )
+        slices = document["slices"]
+        if set(slices) != set(self._engines):
+            raise ValueError(
+                f"snapshot covers slices {sorted(slices)}, this service "
+                f"has {sorted(self._engines)}; construct the successor "
+                "with the same slices before restoring"
+            )
+        if document.get("default_slice") != self.default_slice:
+            raise ValueError(
+                f"snapshot default slice {document.get('default_slice')!r} "
+                f"!= this service's {self.default_slice!r}"
+            )
+        dumped_schedule = document.get("schedule")
+        restored_schedule = (
+            None
+            if dumped_schedule is None
+            else ScenarioSchedule.from_dict(dumped_schedule)
+        )
+        if restored_schedule != self.schedule:
+            raise ValueError("snapshot schedule differs from this service's")
+        for name, payload in slices.items():
+            with self._slice_locks[name].write_locked():
+                self._engines[name].combiner.costs.restore(
+                    payload["cost_table"]
+                )
+        feed_position = document.get("feed_position")
+        with self._stats_lock:
+            self._last_update_sequence = (
+                None if feed_position is None else int(feed_position)
+            )
+        # Entries cached before the restore were keyed under this service's
+        # own version history, which the restore just replaced.
+        self._cache.clear()
+        self._stale.clear()
+        for entry in document.get("cache", ()):
+            key = _decode_key_part(entry["key"])
+            answer = result_from_dict(entry["result"], self.network)
+            self._cache.put(key, answer)
+            # The stale key is the cache key minus its trailing version —
+            # the dump warms the degradation ladder's last rung too.
+            self._stale.put(key[:-1], (answer, key[-1]))
 
     # ------------------------------------------------------------------
     # Observability
@@ -685,6 +1228,14 @@ class RoutingService:
                 cache_entries=entries,
                 admission_skips=self._admission_skips,
                 updates_applied=self._updates_applied,
+                deadline_misses=self._deadline_misses,
+                served_degraded=self._served_degraded,
+                served_stale=self._served_stale,
+                breaker_trips=sum(b.trips for b in self._breakers.values()),
+                breakers={
+                    name: breaker.state
+                    for name, breaker in self._breakers.items()
+                },
                 strategies={
                     name: StrategyLatency(
                         requests=latency.requests,
@@ -706,12 +1257,16 @@ class RoutingService:
         """Serve one JSON-ready request document.
 
         Operations (the ``op`` field): ``"route"``, ``"route_at"``,
-        ``"route_many"``, ``"apply_update"`` and ``"stats"``; see the test
-        suite and ``examples/routing_service.py`` for the exact shapes.
+        ``"route_many"``, ``"apply_update"``, ``"stats"`` and
+        ``"snapshot"``; see the test suite and
+        ``examples/routing_service.py`` for the exact shapes.  Routing
+        requests may carry ``deadline_ms``, the degradation-ladder time
+        budget (:meth:`route`'s ``deadline_seconds`` in milliseconds).
         Success responses carry ``"ok": true`` plus the corresponding
         kind-tagged document; malformed or failing requests come back as
-        ``{"ok": false, "error": ...}`` instead of raising — a service
-        answers every request.
+        ``{"ok": false, "error": ..., "error_kind": ...}`` instead of
+        raising — a service answers every request.  ``error_kind`` is one
+        of the stable codes documented in :mod:`repro.service.errors`.
         """
         try:
             op = request.get("op")
@@ -722,6 +1277,9 @@ class RoutingService:
                     "strategy": request.get("strategy", "pbr"),
                     "time_limit_seconds": request.get("time_limit_seconds"),
                     "cache_ttl_seconds": request.get("cache_ttl_seconds"),
+                    "deadline_seconds": self._deadline_from_wire(
+                        request.get("deadline_ms")
+                    ),
                     **kwargs,
                 }
                 if op == "route_at":
@@ -747,6 +1305,9 @@ class RoutingService:
                     time_limit_seconds=request.get("time_limit_seconds"),
                     workers=request.get("workers"),
                     cache_ttl_seconds=request.get("cache_ttl_seconds"),
+                    deadline_seconds=self._deadline_from_wire(
+                        request.get("deadline_ms")
+                    ),
                     **self._wire_kwargs(request),
                 )
                 return {"ok": True, **served.to_dict()}
@@ -763,26 +1324,50 @@ class RoutingService:
                 }
             if op == "stats":
                 return {"ok": True, **self.stats().to_dict()}
+            if op == "snapshot":
+                include_cache = request.get("include_cache", False)
+                if not isinstance(include_cache, bool):
+                    raise ValueError(
+                        "include_cache must be a boolean, got "
+                        f"{include_cache!r}"
+                    )
+                return {"ok": True, **self.snapshot(include_cache=include_cache)}
             raise ValueError(
                 f"unknown op {op!r}; expected route/route_at/route_many/"
-                "apply_update/stats"
+                "apply_update/stats/snapshot"
             )
         except Exception as exc:
             # The always-answer contract: *any* failure — malformed
             # documents, strategy validation, even a crashed pool worker —
             # comes back as a document, never as an escaped exception that
-            # takes the serving loop down with it.
-            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            # takes the serving loop down with it.  KeyboardInterrupt and
+            # friends are deliberately NOT caught: an operator's ^C must
+            # stop the loop, not become an error document.
+            return {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_kind": error_kind(exc),
+            }
 
     def handle_json(self, line: str) -> str:
         """:meth:`handle_request` over JSON text (one request per call)."""
         try:
             request = json.loads(line)
         except json.JSONDecodeError as exc:
-            return json.dumps({"ok": False, "error": f"JSONDecodeError: {exc}"})
+            return json.dumps(
+                {
+                    "ok": False,
+                    "error": f"JSONDecodeError: {exc}",
+                    "error_kind": error_kind(exc),
+                }
+            )
         if not isinstance(request, Mapping):
             return json.dumps(
-                {"ok": False, "error": "TypeError: request must be an object"}
+                {
+                    "ok": False,
+                    "error": "TypeError: request must be an object",
+                    "error_kind": "bad_request",
+                }
             )
         return json.dumps(self.handle_request(request))
 
@@ -796,7 +1381,7 @@ class RoutingService:
     _RESERVED_WIRE_KWARGS = frozenset(
         {"strategy", "time_limit_seconds", "cache_ttl_seconds", "slice",
          "slice_name", "workers", "query", "queries",
-         "departure_time_seconds"}
+         "departure_time_seconds", "deadline_ms", "deadline_seconds"}
     )
 
     def _wire_kwargs(self, request: Mapping[str, Any]) -> dict[str, Any]:
@@ -809,6 +1394,26 @@ class RoutingService:
                 f"{sorted(reserved)}; set them at the top level"
             )
         return kwargs
+
+    @staticmethod
+    def _deadline_from_wire(raw: Any) -> float | None:
+        """``deadline_ms`` → seconds, validated *before* the division.
+
+        Checked here because ``True / 1000.0`` is a perfectly ordinary
+        float — by the time :meth:`_check_deadline` saw it, a boolean
+        payload would have become a legal-looking deadline.
+        """
+        if raw is None:
+            return None
+        if (
+            isinstance(raw, bool)
+            or not isinstance(raw, numbers.Real)
+            or math.isnan(raw)
+        ):
+            raise ValueError(
+                f"deadline_ms must be a number of milliseconds, got {raw!r}"
+            )
+        return float(raw) / 1000.0
 
     def _key_extras(
         self,
@@ -851,18 +1456,83 @@ class RoutingService:
         """Validate a per-request TTL (``None`` = use the service default)."""
         return check_ttl_seconds(cache_ttl_seconds, name="cache_ttl_seconds")
 
+    def _check_deadline(self, deadline_seconds: float) -> float:
+        """Validate a request deadline.
+
+        Non-positive deadlines are *valid* — a frontend that subtracts
+        queue wait can legitimately hand the service an already-expired
+        budget, which routes straight to the stale rung.  Only
+        non-numbers and NaN are rejected.
+        """
+        if (
+            isinstance(deadline_seconds, bool)
+            or not isinstance(deadline_seconds, numbers.Real)
+            or math.isnan(deadline_seconds)
+        ):
+            raise ValueError(
+                f"deadline must be a number of seconds, got {deadline_seconds!r}"
+            )
+        return float(deadline_seconds)
+
+    def _breaker(self, strategy: str) -> CircuitBreaker:
+        """The per-strategy circuit breaker, created on first use.
+
+        The map is bounded by the strategy registry: :meth:`route`
+        validates the name against the engine before any breaker exists.
+        """
+        with self._stats_lock:
+            breaker = self._breakers.get(strategy)
+            if breaker is None:
+                breaker = self._breakers[strategy] = CircuitBreaker(
+                    failure_threshold=self._breaker_failure_threshold,
+                    cooldown_seconds=self._breaker_cooldown_seconds,
+                    clock=self._clock,
+                )
+            return breaker
+
+    def _stale_key(
+        self,
+        slice_name: str,
+        strategy: str,
+        query: RoutingQuery,
+        extras: tuple | None,
+    ) -> tuple | None:
+        """The version-*less* key for the stale store (``None`` = unkeyable).
+
+        Exactly the cache key minus its version component, so the store
+        always holds the most recently admitted answer for the request
+        shape across every cost-table version.
+        """
+        if extras is None:
+            return None
+        return (
+            slice_name,
+            strategy,
+            query.source,
+            query.target,
+            query.budget,
+            extras,
+        )
+
     def _admit(
         self,
         key: Any,
         result: ServiceAnswer,
         compute_seconds: float,
         request_ttl: float | None,
+        *,
+        stale_key: tuple | None = None,
+        version: int | None = None,
     ) -> None:
         """Cache ``result`` if the admission policy accepts it.
 
         An answer computed faster than ``admission_min_compute_seconds`` is
         cheaper to recompute than to store — caching it can only displace
-        an answer worth keeping, so it is skipped (and counted).
+        an answer worth keeping, so it is skipped (and counted).  When the
+        caller supplies the versionless ``stale_key``, the answer also
+        refreshes the degradation ladder's stale store together with the
+        ``version`` it was computed under (same admission bar: an answer
+        too cheap to cache is too cheap to be worth serving stale).
         """
         if compute_seconds < self.admission_min_compute_seconds:
             with self._stats_lock:
@@ -872,6 +1542,8 @@ class RoutingService:
             self._cache.put(key, result, ttl_seconds=request_ttl)
         else:
             self._cache.put(key, result)
+        if stale_key is not None and version is not None:
+            self._stale.put(stale_key, (result, version))
 
     def _record(self, strategy: str, elapsed_seconds: float) -> None:
         # Read-modify-write on two counters; the lock keeps concurrent

@@ -33,16 +33,32 @@ class CostUpdate:
 
     ``slice_name`` targets one of the service's named slices (``None`` means
     the service's default slice); ``source`` is a free-form provenance label
-    for observability.
+    for observability.  ``sequence`` is the update's position in its feed
+    (``None`` for feeds that do not number events): a service records the
+    highest sequence applied, snapshots it as the feed position, and skips
+    already-applied sequences on replay — which is what makes blue/green
+    handover (restore a snapshot, replay the whole feed) idempotent.
     """
 
     costs: Mapping[int, DiscreteDistribution]
     slice_name: str | None = None
     source: str = "feed"
+    sequence: int | None = None
 
     def __post_init__(self) -> None:
         if not self.costs:
             raise ValueError("a cost update needs at least one edge")
+        if self.sequence is not None:
+            if (
+                isinstance(self.sequence, bool)
+                or not isinstance(self.sequence, numbers.Integral)
+                or self.sequence < 0
+            ):
+                raise ValueError(
+                    "sequence must be a non-negative integer or None, got "
+                    f"{self.sequence!r}"
+                )
+            object.__setattr__(self, "sequence", int(self.sequence))
         validated: dict[int, DiscreteDistribution] = {}
         for edge_id, distribution in self.costs.items():
             # Negative ids would wrap onto real edges at apply time
@@ -108,6 +124,7 @@ class CostUpdate:
             "kind": "cost_update",
             "slice": self.slice_name,
             "source": self.source,
+            "sequence": self.sequence,
             "costs": {
                 str(edge_id): {
                     "offset": dist.offset,
@@ -146,4 +163,6 @@ class CostUpdate:
             costs=costs,
             slice_name=data.get("slice"),
             source=data.get("source", "feed"),
+            # Absent in pre-resilience documents: default to unnumbered.
+            sequence=data.get("sequence"),
         )

@@ -203,8 +203,7 @@ class TestEntryTTL:
 
     def test_service_level_ttl_expires_served_answers(self, world):
         clock = FakeClock()
-        service = fresh_service(world, cache_ttl_seconds=60.0)
-        service._cache._clock = clock  # deterministic time for the test
+        service = fresh_service(world, cache_ttl_seconds=60.0, clock=clock)
         query = HOT_QUERIES[0]
         assert not service.route(query).cache_hit
         assert service.route(query).cache_hit
@@ -217,8 +216,7 @@ class TestEntryTTL:
 
     def test_per_request_ttl_over_the_wire(self, world):
         clock = FakeClock()
-        service = fresh_service(world)
-        service._cache._clock = clock
+        service = fresh_service(world, clock=clock)
         query = HOT_QUERIES[0]
         request = {
             "op": "route",

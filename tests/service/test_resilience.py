@@ -1,0 +1,824 @@
+"""Resilient-serving tests: deadlines, degradation, breakers, faults.
+
+The resilience contract locked down here:
+
+* a **generous deadline changes nothing** — the answer is bit-identical
+  to the same request without a deadline, and is admitted to the cache;
+* an **overrunning search degrades, never blocks**: best anytime pivot,
+  then the deterministic ``expected_time`` fallback, then a
+  stale-but-version-tagged cache entry, and only then
+  :class:`DeadlineExceededError` — each rung labelled on the document;
+* the per-strategy **circuit breaker** trips on consecutive deadline
+  misses, fast-fails onto the fallback rungs, and recovers through a
+  half-open probe (the ISSUE's trip → half-open → closed cycle);
+* the **fault injector is deterministic** — same seed, same schedule —
+  and every injected failure (crash, stall, poisoned feed, clock skew)
+  is contained by the frontend's retry policy and error documents;
+* ``error_kind`` codes are stable wire contract, and
+  :class:`FrontendClosedError` makes the close/submit race loud.
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConvolutionModel, EdgeCostTable
+from repro.network import RoadNetwork, grid_network
+from repro.routing import RoutingQuery, RoutingStrategy, register_strategy
+from repro.routing import engine as engine_module
+from repro.service import (
+    CircuitBreaker,
+    DeadlineExceededError,
+    FaultInjector,
+    FrontendClosedError,
+    InjectedFault,
+    NoRouteError,
+    RetryPolicy,
+    RoutingService,
+    ThreadedFrontend,
+    error_kind,
+)
+from repro.trajectories import CongestionModel
+
+QUERY = RoutingQuery(0, 24, 40)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def world():
+    network = grid_network(5, 5, seed=2)
+    model = CongestionModel(network, seed=3)
+    costs = EdgeCostTable(network, resolution=5.0)
+    for edge in network.edges:
+        costs.set_cost(edge.id, model.edge_marginal(edge))
+    return network, model, costs
+
+
+def fresh_service(world, **kwargs):
+    network, _, costs = world
+    return RoutingService(network, ConvolutionModel(costs.copy()), **kwargs)
+
+
+def assert_same_answer(mine, reference, where=""):
+    assert mine.found == reference.found, where
+    assert [e.id for e in mine.path] == [e.id for e in reference.path], where
+    assert mine.probability == reference.probability, where
+    assert mine.distribution == reference.distribution, where
+
+
+@pytest.fixture
+def declining_strategy():
+    """A registered strategy that always declines (returns ``None``).
+
+    Declining under a deadline is a rung-1 failure, so this drives the
+    ladder's lower rungs (and the breaker) deterministically.
+    """
+
+    @register_strategy("decline_for_resilience_test")
+    class Decline(RoutingStrategy):
+        supports_time_limit = True
+
+        def route(self, engine, query, *, time_limit_seconds=None):
+            return None
+
+    yield "decline_for_resilience_test"
+    engine_module._STRATEGIES.pop("decline_for_resilience_test", None)
+
+
+@pytest.fixture
+def flaky_strategy():
+    """A registered strategy whose health the test controls via a flag."""
+
+    @register_strategy("flaky_for_resilience_test")
+    class Flaky(RoutingStrategy):
+        supports_time_limit = True
+        broken = True
+
+        def route(self, engine, query, *, time_limit_seconds=None):
+            if Flaky.broken:
+                return None
+            return engine.route(query, strategy="pbr")
+
+    yield Flaky
+    engine_module._STRATEGIES.pop("flaky_for_resilience_test", None)
+
+
+def disconnected_world():
+    """Two 2-vertex islands: vertex 0->1 routes, 0->2 provably cannot."""
+    network = RoadNetwork()
+    for vertex_id, x in ((0, 0.0), (1, 100.0), (2, 5000.0), (3, 5100.0)):
+        network.add_vertex(vertex_id, x, 0.0)
+    network.add_edge(0, 1)
+    network.add_edge(2, 3)
+    model = CongestionModel(network, seed=7)
+    costs = EdgeCostTable(network, resolution=5.0)
+    for edge in network.edges:
+        costs.set_cost(edge.id, model.edge_marginal(edge))
+    return network, costs
+
+
+# ----------------------------------------------------------------------
+# The degradation ladder
+# ----------------------------------------------------------------------
+
+
+class TestDeadlineLadder:
+    def test_generous_deadline_is_bit_identical_and_cacheable(self, world):
+        service = fresh_service(world)
+        reference = fresh_service(world).route(QUERY)
+        answered = service.route(QUERY, deadline_seconds=30.0)
+        assert not answered.degraded
+        assert answered.fallback_strategy is None
+        assert_same_answer(answered.result, reference.result)
+        # A completed bounded search is a normal answer: admitted, so the
+        # next (deadline-free) request hits the very same object.
+        followup = service.route(QUERY)
+        assert followup.cache_hit
+        assert followup.result is answered.result
+        assert service.stats().deadline_misses == 0
+
+    def test_fresh_cache_hit_beats_even_an_expired_deadline(self, world):
+        service = fresh_service(world)
+        warmed = service.route(QUERY)
+        served = service.route(QUERY, deadline_seconds=-1.0)
+        assert served.cache_hit and not served.degraded
+        assert served.result is warmed.result
+        assert service.stats().deadline_misses == 0
+
+    def test_rung1_overrun_serves_the_anytime_pivot(self, world):
+        # A fake service clock keeps `remaining` positive while the
+        # search's own wall clock expires the cooperative limit on the
+        # first label expansion — rung 1 deterministically overruns.
+        service = fresh_service(world, clock=FakeClock())
+        served = service.route(QUERY, deadline_seconds=1e-9)
+        assert served.degraded
+        assert served.fallback_strategy == "anytime"
+        assert served.found  # the pivot is a usable route
+        assert not served.cache_hit
+        stats = service.stats()
+        assert stats.deadline_misses == 1
+        assert stats.served_degraded == 1
+        assert stats.served_stale == 0
+        # Degraded answers are never admitted: the next request recomputes.
+        assert not service.route(QUERY).cache_hit
+
+    def test_rung2_falls_back_to_expected_time(self, world, declining_strategy):
+        service = fresh_service(world)
+        reference = fresh_service(world).route(QUERY, strategy="expected_time")
+        served = service.route(QUERY, strategy=declining_strategy,
+                               deadline_seconds=30.0)
+        assert served.degraded
+        assert served.fallback_strategy == "expected_time"
+        assert served.strategy == declining_strategy  # labelled as requested
+        assert_same_answer(served.result, reference.result)
+        stats = service.stats()
+        assert stats.deadline_misses == 1 and stats.served_degraded == 1
+
+    def test_rung3_serves_stale_tagged_with_its_old_version(self, world):
+        network, model, _ = world
+        service = fresh_service(world)
+        warmed = service.route(QUERY)
+        old_version = warmed.cost_version
+        # The hot-swap strands the fresh entry; the stale store keeps it.
+        service.apply_cost_update(
+            {e.id: model.edge_marginal(e) for e in network.edges[:3]}
+        )
+        served = service.route(QUERY, deadline_seconds=-1.0)
+        assert served.degraded
+        assert served.fallback_strategy == "stale_cache"
+        assert served.cache_hit  # it *is* a cached answer — an old one
+        assert served.cost_version == old_version  # stale is explicit
+        assert served.cost_version != service.cost_version()
+        assert served.result is warmed.result
+        stats = service.stats()
+        assert stats.served_stale == 1 and stats.served_degraded == 1
+
+    def test_bottom_of_the_ladder_raises_deadline_exceeded(self, world):
+        service = fresh_service(world)
+        with pytest.raises(DeadlineExceededError):
+            service.route(QUERY, deadline_seconds=-1.0)  # cold: no rung left
+        stats = service.stats()
+        assert stats.deadline_misses == 1
+        # The failed request's miss was refunded — exact cache accounting.
+        assert stats.cache_misses == 0 and stats.cache_hits == 0
+
+    def test_no_route_is_definitive_not_deadline_exceeded(
+        self, world, declining_strategy
+    ):
+        network, costs = disconnected_world()
+        service = RoutingService(network, ConvolutionModel(costs))
+        served = service.route(
+            RoutingQuery(0, 1, 10_000), strategy=declining_strategy,
+            deadline_seconds=30.0,
+        )
+        assert served.degraded and served.fallback_strategy == "expected_time"
+        with pytest.raises(NoRouteError):
+            service.route(
+                RoutingQuery(0, 2, 10_000), strategy=declining_strategy,
+                deadline_seconds=30.0,
+            )
+
+    def test_route_at_threads_the_deadline_through(self, world, declining_strategy):
+        from repro.service import time_sliced_cost_tables
+
+        network, model, _ = world
+        service = RoutingService.from_time_slices(
+            network, time_sliced_cost_tables(network, model)
+        )
+        served = service.route_at(
+            QUERY, 8 * 3600.0, strategy=declining_strategy, deadline_seconds=30.0
+        )
+        assert served.slice_name == "peak"
+        assert served.degraded and served.fallback_strategy == "expected_time"
+
+    @settings(max_examples=25)
+    @given(budget=st.integers(min_value=10, max_value=80),
+           deadline=st.floats(min_value=5.0, max_value=120.0))
+    def test_generous_deadlines_never_change_answers(self, world, budget, deadline):
+        """Property: any comfortably-met deadline is invisible in the
+        answer — same route, same probability, same distribution."""
+        service = fresh_service(world)
+        query = RoutingQuery(0, 24, budget)
+        bounded = service.route(query, deadline_seconds=deadline)
+        service.clear_cache()
+        unbounded = service.route(query)
+        assert not bounded.degraded
+        if bounded.found or unbounded.found:
+            assert_same_answer(bounded.result, unbounded.result)
+
+    @settings(max_examples=25)
+    @given(budget=st.integers(min_value=10, max_value=80))
+    def test_expired_deadlines_always_reach_a_labelled_rung(self, world, budget):
+        """Property: an already-expired deadline either serves something
+        explicitly tagged (fresh hit, stale entry) or raises
+        DeadlineExceededError — never an unlabelled partial answer."""
+        service = fresh_service(world)
+        query = RoutingQuery(0, 24, budget)
+        warmed = service.route(query)  # fresh entry exists
+        served = service.route(query, deadline_seconds=0.0)
+        assert served.cache_hit
+        assert served.result is warmed.result
+        service.clear_cache()  # fresh gone; the stale store survives
+        stale = service.route(query, deadline_seconds=0.0)
+        assert stale.degraded and stale.fallback_strategy == "stale_cache"
+        assert stale.result is warmed.result
+
+
+class TestDeadlineBatches:
+    def test_batch_deadline_splits_budget_and_flags_degradation(self, world):
+        service = fresh_service(world, clock=FakeClock())
+        queries = [RoutingQuery(0, 24, b) for b in (30, 40, 50)]
+        served = service.route_many(queries, deadline_seconds=1e-9)
+        assert served.degraded
+        assert len(served) == 3
+        assert service.stats().deadline_misses == 1
+        # Overrun members were not admitted — nothing to hit.
+        followup = service.route_many(queries)
+        assert followup.cache_hits == 0
+
+    def test_batch_with_generous_deadline_is_not_degraded(self, world):
+        service = fresh_service(world)
+        queries = [RoutingQuery(0, 24, b) for b in (30, 40)]
+        served = service.route_many(queries, deadline_seconds=30.0)
+        assert not served.degraded
+        assert served.cache_misses == 2
+        again = service.route_many(queries, deadline_seconds=30.0)
+        assert again.cache_hits == 2 and not again.degraded
+
+    def test_batch_expired_before_dispatch_serves_hits_only(self, world):
+        service = fresh_service(world)
+        hot, cold = RoutingQuery(0, 24, 40), RoutingQuery(0, 24, 77)
+        warmed = service.route(hot)
+        served = service.route_many([hot, cold], deadline_seconds=-1.0)
+        assert served.degraded
+        assert served[0] is warmed.result
+        assert served[1] is None
+        assert served.cache_hits == 1 and served.cache_misses == 1
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+
+class TestCircuitBreakerUnit:
+    def test_trips_on_consecutive_failures_only(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_seconds=5.0,
+                                 clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.record_success()  # streak broken
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.trips == 0
+        breaker.record_failure()  # third consecutive
+        assert breaker.state == "open" and breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the probe slot
+        assert not breaker.allow()  # everyone else keeps fast-failing
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_for_a_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed
+        assert breaker.state == "open" and breaker.trips == 2
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_bad_threshold_rejected(self, bad):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf"), True])
+    def test_bad_cooldown_rejected(self, bad):
+        with pytest.raises(ValueError, match="cooldown_seconds"):
+            CircuitBreaker(cooldown_seconds=bad)
+
+
+class TestServiceBreakerRecovery:
+    def test_trip_fast_fail_half_open_probe_close(self, world, flaky_strategy):
+        """The ISSUE's acceptance cycle: consecutive deadline misses trip
+        the breaker, an open breaker skips straight to the fallback rungs,
+        and after the cooldown one probe closes it again."""
+        clock = FakeClock()
+        service = fresh_service(
+            world, clock=clock,
+            breaker_failure_threshold=2, breaker_cooldown_seconds=10.0,
+        )
+        name = "flaky_for_resilience_test"
+        flaky_strategy.broken = True
+        for _ in range(2):  # two consecutive misses: trip
+            served = service.route(QUERY, strategy=name, deadline_seconds=5.0)
+            assert served.degraded
+        stats = service.stats()
+        assert stats.breakers[name] == "open"
+        assert stats.breaker_trips == 1
+        assert stats.deadline_misses == 2
+
+        # Open: the primary is never attempted (no new deadline miss),
+        # the fallback rung answers immediately.
+        served = service.route(QUERY, strategy=name, deadline_seconds=5.0)
+        assert served.degraded and served.fallback_strategy == "expected_time"
+        assert service.stats().deadline_misses == 2
+
+        # Cooldown elapses; the strategy recovers; the probe closes it.
+        clock.advance(10.0)
+        assert service.stats().breakers[name] == "half_open"
+        flaky_strategy.broken = False
+        served = service.route(QUERY, strategy=name, deadline_seconds=5.0)
+        assert not served.degraded
+        stats = service.stats()
+        assert stats.breakers[name] == "closed"
+        assert stats.breaker_trips == 1  # recovery is not another trip
+
+    def test_failed_probe_reopens_the_service_breaker(self, world, flaky_strategy):
+        clock = FakeClock()
+        service = fresh_service(
+            world, clock=clock,
+            breaker_failure_threshold=1, breaker_cooldown_seconds=10.0,
+        )
+        name = "flaky_for_resilience_test"
+        flaky_strategy.broken = True
+        service.route(QUERY, strategy=name, deadline_seconds=5.0)
+        assert service.stats().breakers[name] == "open"
+        clock.advance(10.0)
+        service.route(QUERY, strategy=name, deadline_seconds=5.0)  # probe fails
+        stats = service.stats()
+        assert stats.breakers[name] == "open"
+        assert stats.breaker_trips == 2
+
+    def test_breakers_are_per_strategy(self, world, flaky_strategy):
+        service = fresh_service(
+            world, clock=FakeClock(), breaker_failure_threshold=1
+        )
+        flaky_strategy.broken = True
+        service.route(QUERY, strategy="flaky_for_resilience_test",
+                      deadline_seconds=5.0)
+        served = service.route(QUERY, strategy="pbr", deadline_seconds=5.0)
+        assert not served.degraded  # pbr's breaker is untouched
+        breakers = service.stats().breakers
+        assert breakers["flaky_for_resilience_test"] == "open"
+        assert breakers["pbr"] == "closed"
+
+    def test_bad_breaker_config_fails_at_construction(self, world):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            fresh_service(world, breaker_failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown_seconds"):
+            fresh_service(world, breaker_cooldown_seconds=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_same_seed_same_schedule(self):
+        def schedule(injector, n=200):
+            outcomes = []
+            for index in range(n):
+                try:
+                    injector.before_request({"op": "stats"})
+                    outcomes.append("ok")
+                except InjectedFault:
+                    outcomes.append("crash")
+            return outcomes
+
+        a = FaultInjector(seed=42, crash_rate=0.3, sleep=lambda s: None)
+        b = FaultInjector(seed=42, crash_rate=0.3, sleep=lambda s: None)
+        c = FaultInjector(seed=43, crash_rate=0.3, sleep=lambda s: None)
+        schedule_a, schedule_b, schedule_c = schedule(a), schedule(b), schedule(c)
+        assert schedule_a == schedule_b
+        assert schedule_a != schedule_c  # the seed really is the schedule
+        assert a.counters() == b.counters()
+        assert 0 < a.counters()["injected_crashes"] < 200
+
+    def test_stalls_use_the_injected_sleep(self):
+        stalls = []
+        injector = FaultInjector(
+            seed=1, slow_rate=1.0, slow_seconds=0.25, sleep=stalls.append
+        )
+        injector.before_request({"op": "stats"})
+        assert stalls == [0.25]
+        assert injector.counters()["injected_stalls"] == 1
+
+    def test_clock_skew_offsets_now(self):
+        clock = FakeClock()
+        clock.now = 100.0
+        injector = FaultInjector(clock_skew_seconds=-7.5, clock=clock)
+        assert injector.now() == 92.5
+
+    def test_poison_corrupts_a_copy_not_the_original(self, world):
+        network, model, _ = world
+        from repro.service import CostUpdate
+
+        update = CostUpdate(
+            {e.id: model.edge_marginal(e) for e in network.edges[:2]}
+        )
+        request = {"op": "apply_update", "update": update.to_dict()}
+        injector = FaultInjector(seed=5, poison_rate=1.0)
+        poisoned = injector.before_request(request)
+        assert poisoned is not request
+        assert injector.counters()["injected_poisons"] == 1
+        # The original document is untouched...
+        assert CostUpdate.from_dict(request["update"]) == update
+        # ...and the poisoned copy violates unit mass at the trust boundary.
+        with pytest.raises(ValueError, match="mass"):
+            CostUpdate.from_dict(poisoned["update"])
+
+    def test_poisoned_update_is_rejected_with_table_untouched(self, world):
+        network, model, _ = world
+        from repro.service import CostUpdate
+
+        service = fresh_service(world)
+        version_before = service.cost_version()
+        update = CostUpdate({network.edges[0].id: model.edge_marginal(network.edges[0])})
+        injector = FaultInjector(seed=5, poison_rate=1.0)
+        poisoned = injector.before_request(
+            {"op": "apply_update", "update": update.to_dict()}
+        )
+        response = service.handle_request(poisoned)
+        assert response["ok"] is False
+        assert response["error_kind"] == "bad_request"
+        assert service.cost_version() == version_before
+
+    def test_poison_only_touches_apply_update(self):
+        injector = FaultInjector(seed=5, poison_rate=1.0)
+        request = {"op": "route", "query": QUERY.to_dict()}
+        assert injector.before_request(request) is request
+        assert injector.counters()["injected_poisons"] == 0
+
+    @pytest.mark.parametrize("field", ["crash_rate", "slow_rate", "poison_rate"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, float("nan"), True])
+    def test_bad_rates_rejected(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            FaultInjector(**{field: bad})
+
+
+class TestRetryPolicy:
+    def test_backoff_is_multiplicative(self):
+        policy = RetryPolicy(max_attempts=4, backoff_seconds=0.1, multiplier=3.0)
+        assert policy.delay_before_retry(0) == pytest.approx(0.1)
+        assert policy.delay_before_retry(1) == pytest.approx(0.3)
+        assert policy.delay_before_retry(2) == pytest.approx(0.9)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"max_attempts": True},
+            {"backoff_seconds": -1.0},
+            {"backoff_seconds": float("inf")},
+            {"multiplier": 0.5},
+            {"multiplier": float("nan")},
+        ],
+    )
+    def test_bad_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# The frontend under faults
+# ----------------------------------------------------------------------
+
+
+class _CrashFirstAttempts:
+    """Duck-typed injector: fail the first ``crashes`` calls, then pass."""
+
+    def __init__(self, crashes: int) -> None:
+        self.crashes = crashes
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def before_request(self, request):
+        with self._lock:
+            self.calls += 1
+            if self.calls <= self.crashes:
+                raise InjectedFault(f"injected crash #{self.calls}")
+        return request
+
+
+class TestFrontendResilience:
+    def test_transient_crash_is_retried_to_success(self, world):
+        service = fresh_service(world)
+        frontend = ThreadedFrontend(
+            service,
+            num_workers=1,
+            faults=_CrashFirstAttempts(1),
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.0),
+        )
+        with frontend:
+            response = frontend.request({"op": "route", "query": QUERY.to_dict()})
+        assert response["ok"] is True
+        assert frontend.stats.read()["retries"] == 1
+        assert frontend.stats.read()["completed"] == 1
+
+    def test_exhausted_retries_become_internal_error_document(self, world):
+        service = fresh_service(world)
+        frontend = ThreadedFrontend(
+            service,
+            num_workers=1,
+            faults=FaultInjector(seed=0, crash_rate=1.0),
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.0),
+        )
+        with frontend:
+            response = frontend.request({"op": "route", "query": QUERY.to_dict()})
+        assert response["ok"] is False
+        assert response["error_kind"] == "internal"
+        assert "InjectedFault" in response["error"]
+        assert frontend.stats.read()["retries"] == 2  # max_attempts - 1
+        # The worker survived: the pool still serves.
+        # (close() already drained cleanly inside the context manager.)
+
+    def test_retry_backoff_uses_injected_sleep(self, world):
+        sleeps = []
+        service = fresh_service(world)
+        frontend = ThreadedFrontend(
+            service,
+            num_workers=1,
+            faults=FaultInjector(seed=0, crash_rate=1.0),
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.5, multiplier=2.0),
+            sleep=sleeps.append,
+        )
+        with frontend:
+            frontend.request({"op": "stats"})
+        assert sleeps == [0.5, 1.0]
+
+    def test_against_queue_wait_charges_elapsed_time(self, world):
+        clock = FakeClock()
+        frontend = ThreadedFrontend(fresh_service(world), num_workers=1,
+                                    clock=clock)
+        clock.now = 7.0  # 7 s after the request's arrival stamp
+        adjusted = frontend._against_queue_wait(
+            {"op": "route", "deadline_ms": 10_000.0}, arrival=0.0
+        )
+        assert adjusted["deadline_ms"] == pytest.approx(3_000.0)
+        # Negative budgets pass through: the service's stale rung wants
+        # them, a clamp here would hide the overrun.
+        starved = frontend._against_queue_wait(
+            {"op": "route", "deadline_ms": 50.0}, arrival=0.0
+        )
+        assert starved["deadline_ms"] == pytest.approx(-6_950.0)
+        # No deadline / malformed deadline: untouched (service validates).
+        plain = {"op": "route"}
+        assert frontend._against_queue_wait(plain, arrival=0.0) is plain
+        weird = {"op": "route", "deadline_ms": "soon"}
+        assert frontend._against_queue_wait(weird, arrival=0.0) is weird
+
+    def test_queue_wait_is_charged_against_the_deadline(self, world):
+        """A request that aged out while queued reaches the service with a
+        non-positive budget and degrades to the stale rung instead of
+        burning the worker on a search it cannot finish in time."""
+        service = fresh_service(world)
+        warmed = service.route(QUERY)  # the stale store learns this answer
+        service.clear_cache()  # fresh entry gone; stale store survives
+        clock = FakeClock()
+        gate = threading.Event()
+        state = {"calls": 0}
+
+        class PinFirstRequest:
+            """Duck-typed injector: the first request blocks until released,
+            pinning the single worker so the second request's queue wait is
+            deterministic."""
+
+            def now(self):
+                return clock()
+
+            def before_request(self, request):
+                state["calls"] += 1
+                if state["calls"] == 1:
+                    gate.wait(timeout=30.0)
+                return request
+
+        frontend = ThreadedFrontend(
+            service, num_workers=1, faults=PinFirstRequest(), clock=clock
+        )
+        frontend.start()
+        pin = frontend.submit({"op": "stats"})
+        future = frontend.submit(
+            {"op": "route", "query": QUERY.to_dict(), "deadline_ms": 50.0}
+        )
+        clock.advance(10.0)  # 10 s of "queue wait" against a 50 ms budget
+        gate.set()
+        pin.result()
+        response = future.result()
+        frontend.close()
+        assert response["ok"] is True
+        assert response["degraded"] is True
+        assert response["fallback_strategy"] == "stale_cache"
+        assert response["result"] == warmed.result.to_dict()
+
+    def test_frontend_reads_the_skewed_clock(self, world):
+        service = fresh_service(world)
+        injector = FaultInjector(clock_skew_seconds=123.0, clock=lambda: 1.0)
+        frontend = ThreadedFrontend(service, faults=injector)
+        assert frontend._clock() == 124.0
+        explicit = ThreadedFrontend(service, faults=injector, clock=lambda: 5.0)
+        assert explicit._clock() == 5.0  # an explicit clock wins
+
+    def test_skewed_clock_still_serves(self, world):
+        service = fresh_service(world)
+        frontend = ThreadedFrontend(
+            service,
+            num_workers=2,
+            faults=FaultInjector(clock_skew_seconds=-3600.0),
+        )
+        with frontend:
+            response = frontend.request(
+                {"op": "route", "query": QUERY.to_dict(), "deadline_ms": 30_000.0}
+            )
+        # Skew cancels in queue-wait arithmetic (same clock stamps arrival
+        # and pickup), so a generous deadline serves normally.
+        assert response["ok"] is True and response["degraded"] is False
+
+
+class TestFrontendClosedError:
+    def test_submit_before_start_and_after_close(self, world):
+        service = fresh_service(world)
+        frontend = ThreadedFrontend(service, num_workers=1)
+        with pytest.raises(FrontendClosedError, match="start"):
+            frontend.submit({"op": "stats"})
+        frontend.start()
+        frontend.close()
+        with pytest.raises(FrontendClosedError, match="closed"):
+            frontend.submit({"op": "stats"})
+        # Still a RuntimeError subclass: pre-existing broad handlers work.
+        assert issubclass(FrontendClosedError, RuntimeError)
+
+    def test_close_submit_race_is_loud_not_a_pending_future(self, world):
+        """close() beginning between submit's accept check and its queue
+        put must raise FrontendClosedError, not strand a forever-pending
+        future.  The race window is forced deterministically by closing
+        from inside the queue put itself."""
+        service = fresh_service(world)
+        frontend = ThreadedFrontend(service, num_workers=1).start()
+        real_put = frontend._queue.put
+        state = {"raced": False}
+
+        def racing_put(item, *args, **kwargs):
+            if not state["raced"] and item is not ThreadedFrontend._STOP:
+                state["raced"] = True
+                frontend.close(drain=False)  # close wins the race
+            return real_put(item, *args, **kwargs)
+
+        frontend._queue.put = racing_put
+        with pytest.raises(FrontendClosedError, match="queued"):
+            frontend.submit({"op": "stats"})
+        assert frontend.stats.read()["cancelled"] == 1
+        assert frontend.stats.read()["submitted"] == 0
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy
+# ----------------------------------------------------------------------
+
+
+class TestErrorKinds:
+    @pytest.mark.parametrize(
+        "exc, kind",
+        [
+            (DeadlineExceededError("x"), "deadline_exceeded"),
+            (NoRouteError("x"), "no_route"),
+            (KeyError("x"), "bad_request"),
+            (ValueError("x"), "bad_request"),
+            (TypeError("x"), "bad_request"),
+            (IndexError("x"), "bad_request"),
+            (RuntimeError("x"), "internal"),
+            (InjectedFault("x"), "internal"),
+            (ZeroDivisionError("x"), "internal"),
+        ],
+    )
+    def test_stable_codes(self, exc, kind):
+        assert error_kind(exc) == kind
+
+    def test_deadline_exceeded_over_the_wire(self, world):
+        service = fresh_service(world)
+        response = service.handle_request(
+            {"op": "route", "query": QUERY.to_dict(), "deadline_ms": -1.0}
+        )
+        assert response["ok"] is False
+        assert response["error_kind"] == "deadline_exceeded"
+
+    def test_no_route_over_the_wire(self, world, declining_strategy):
+        network, costs = disconnected_world()
+        service = RoutingService(network, ConvolutionModel(costs))
+        response = service.handle_request(
+            {
+                "op": "route",
+                "query": RoutingQuery(0, 2, 10_000).to_dict(),
+                "strategy": declining_strategy,
+                "deadline_ms": 30_000.0,
+            }
+        )
+        assert response["ok"] is False
+        assert response["error_kind"] == "no_route"
+
+    @pytest.mark.parametrize("bad", [True, "soon", float("nan")])
+    def test_bad_wire_deadlines_are_bad_requests(self, world, bad):
+        service = fresh_service(world)
+        response = service.handle_request(
+            {"op": "route", "query": QUERY.to_dict(), "deadline_ms": bad}
+        )
+        assert response["ok"] is False
+        assert response["error_kind"] == "bad_request"
+
+    def test_deadline_ms_is_a_reserved_kwarg(self, world):
+        service = fresh_service(world)
+        response = service.handle_request(
+            {
+                "op": "route",
+                "query": QUERY.to_dict(),
+                "kwargs": {"deadline_ms": 5.0},
+            }
+        )
+        assert response["ok"] is False
+        assert "reserved" in response["error"]
+        assert response["error_kind"] == "bad_request"
+
+    def test_keyboard_interrupt_is_never_swallowed(self, world):
+        """The always-answer contract stops at Exception: an operator's ^C
+        inside a request must propagate, not become an error document."""
+        service = fresh_service(world)
+
+        class Interrupting:
+            def get(self, key, default=None):
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            service.handle_request(Interrupting())

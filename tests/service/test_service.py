@@ -635,11 +635,17 @@ class TestWireProtocol:
         response = service.handle_request(request_document)
         assert response["ok"] is False
         assert fragment in response["error"]
+        # Every malformed request carries the stable dispatch code.
+        assert response["error_kind"] == "bad_request"
 
     def test_bad_json_becomes_error_document(self, world):
         service = fresh_service(world)
-        assert json.loads(service.handle_json("{nope"))["ok"] is False
-        assert json.loads(service.handle_json("[1, 2]"))["ok"] is False
+        garbled = json.loads(service.handle_json("{nope"))
+        assert garbled["ok"] is False
+        assert garbled["error_kind"] == "bad_request"
+        not_an_object = json.loads(service.handle_json("[1, 2]"))
+        assert not_an_object["ok"] is False
+        assert not_an_object["error_kind"] == "bad_request"
 
     @pytest.mark.parametrize(
         "departure, fragment",
@@ -770,6 +776,7 @@ class TestWireProtocol:
             )
             assert response["ok"] is False
             assert "RuntimeError: pool worker died" in response["error"]
+            assert response["error_kind"] == "internal"
         finally:
             engine_module._STRATEGIES.pop("explode_for_service_test", None)
 

@@ -1,0 +1,432 @@
+"""Snapshot/restore tests: blue/green handover with bit-identical answers.
+
+The durability contract: :meth:`RoutingService.snapshot` captures every
+slice's cost table *with its exact version*, the update-feed position and
+(optionally) the live cache; a successor service built the same way and
+:meth:`~RoutingService.restore`\\ d from that document answers
+byte-for-byte like the predecessor did at snapshot time — same routes,
+same probabilities, same distributions, same ``cost_version`` tags.
+Replaying the whole update feed over the restored copy is idempotent
+(sequence numbers at or below the feed position are skipped), which is
+the entire blue/green handover protocol.  Everything crosses a real
+``json.dumps``/``json.loads`` pass, because snapshots live in files, not
+in the process that wrote them.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConvolutionModel, EdgeCostTable
+from repro.core.persistence import load_service_snapshot, save_service_snapshot
+from repro.histograms import DiscreteDistribution
+from repro.network import grid_network
+from repro.routing import RoutingQuery
+from repro.service import (
+    SERVICE_SNAPSHOT_FORMAT,
+    CostUpdate,
+    DAY_SECONDS,
+    RoutingService,
+    ScenarioSchedule,
+    TimeSlice,
+    time_sliced_cost_tables,
+)
+from repro.service.service import _decode_key_part, _encode_key_part
+from repro.trajectories import CongestionModel
+
+NETWORK = grid_network(5, 5, seed=2)
+MODEL = CongestionModel(NETWORK, seed=3)
+QUERY = RoutingQuery(0, 24, 40)
+QUERIES = [RoutingQuery(0, 24, 40), RoutingQuery(4, 20, 55), RoutingQuery(2, 22, 35)]
+
+
+def base_costs() -> EdgeCostTable:
+    costs = EdgeCostTable(NETWORK, resolution=5.0)
+    for edge in NETWORK.edges:
+        costs.set_cost(edge.id, MODEL.edge_marginal(edge))
+    return costs
+
+
+def fresh_service(**kwargs) -> RoutingService:
+    return RoutingService(NETWORK, ConvolutionModel(base_costs().copy()), **kwargs)
+
+
+def json_round_trip(document: dict) -> dict:
+    """Snapshots live in files: force the document through real JSON text."""
+    return json.loads(json.dumps(document))
+
+
+def shifted_update(shift: int, sequence: int | None = None) -> CostUpdate:
+    """A deterministic feed event: a few edges' histograms shifted later."""
+    edges = NETWORK.edges[3 * shift : 3 * shift + 3]
+    return CostUpdate(
+        {
+            edge.id: DiscreteDistribution(
+                MODEL.edge_marginal(edge).offset + shift,
+                list(MODEL.edge_marginal(edge).probs),
+            )
+            for edge in edges
+        },
+        source="feed",
+        sequence=sequence,
+    )
+
+
+def assert_same_answer(mine, reference, where=""):
+    assert mine.found == reference.found, where
+    assert [e.id for e in mine.path] == [e.id for e in reference.path], where
+    assert mine.probability == reference.probability, where
+    assert mine.distribution == reference.distribution, where
+
+
+# ----------------------------------------------------------------------
+# The cost-table layer
+# ----------------------------------------------------------------------
+
+
+class TestCostTableDumps:
+    def test_round_trip_is_bit_identical_including_version(self):
+        table = base_costs()
+        table.apply_deltas(
+            {NETWORK.edges[0].id: MODEL.edge_marginal(NETWORK.edges[0])}
+        )
+        document = json_round_trip(table.to_dict())
+        assert document["kind"] == "cost_table"
+        restored = EdgeCostTable.from_dict(NETWORK, document)
+        assert restored.version == table.version  # exact, not restarted
+        for edge in NETWORK.edges:
+            assert restored.cost(edge) == table.cost(edge)
+            assert list(restored.cost(edge).probs) == list(table.cost(edge).probs)
+
+    def test_restore_swaps_a_live_table_in_place(self):
+        source = base_costs()
+        source.apply_deltas(
+            {NETWORK.edges[5].id: MODEL.edge_marginal(NETWORK.edges[5])}
+        )
+        target = base_costs().copy()  # version restarts at 0
+        assert target.version != source.version
+        returned = target.restore(json_round_trip(source.to_dict()))
+        assert returned == target.version == source.version
+        for edge in NETWORK.edges:
+            assert target.cost(edge) == source.cost(edge)
+
+    def test_restore_rejects_a_resolution_mismatch(self):
+        dump = base_costs().to_dict()
+        other = EdgeCostTable(NETWORK, resolution=10.0)
+        with pytest.raises(ValueError, match="resolution"):
+            other.restore(dump)
+
+    def test_from_dict_rejects_wrong_kind_and_bad_version(self):
+        dump = base_costs().to_dict()
+        with pytest.raises(ValueError, match="kind"):
+            EdgeCostTable.from_dict(NETWORK, {**dump, "kind": "mystery"})
+        with pytest.raises(ValueError, match="version"):
+            EdgeCostTable.from_dict(NETWORK, {**dump, "version": True})
+
+
+# ----------------------------------------------------------------------
+# The cache-key codec
+# ----------------------------------------------------------------------
+
+
+class TestKeyCodec:
+    @pytest.mark.parametrize(
+        "key",
+        [
+            ("default", "pbr", (0, 24, 40), None, None, 7),
+            ("peak", "kbest", (1, 2, 3), 0.25, frozenset({("k", 2)}), 0),
+            (),
+            frozenset(),
+            frozenset({1, 2, 3}),
+            ("nested", (1, (2, frozenset({("deep", True)})))),
+            None,
+            "scalar",
+            3.5,
+        ],
+    )
+    def test_round_trips_through_json(self, key):
+        encoded = json_round_trip(_encode_key_part(key))
+        assert _decode_key_part(encoded) == key
+
+    def test_tuples_and_lists_stay_distinguishable_from_sets(self):
+        tuple_key = (1, 2)
+        set_key = frozenset({1, 2})
+        assert _decode_key_part(_encode_key_part(tuple_key)) == tuple_key
+        assert _decode_key_part(_encode_key_part(set_key)) == set_key
+        assert _encode_key_part(tuple_key) != _encode_key_part(set_key)
+
+    def test_frozenset_encoding_is_deterministic(self):
+        key = frozenset({("b", 2), ("a", 1), ("c", 3)})
+        assert json.dumps(_encode_key_part(key)) == json.dumps(
+            _encode_key_part(frozenset({("c", 3), ("a", 1), ("b", 2)}))
+        )
+
+
+# ----------------------------------------------------------------------
+# Service snapshot / restore
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotRestore:
+    def test_successor_answers_bit_identically(self):
+        predecessor = fresh_service()
+        predecessor.apply_cost_update(shifted_update(1))
+        before = [predecessor.route(q) for q in QUERIES]
+
+        successor = fresh_service()
+        successor.restore(json_round_trip(predecessor.snapshot()))
+        for query, reference in zip(QUERIES, before):
+            served = successor.route(query)
+            assert served.cost_version == reference.cost_version
+            assert_same_answer(served.result, reference.result, str(query))
+
+    def test_snapshot_is_plain_json_and_kind_tagged(self):
+        document = fresh_service().snapshot()
+        assert document["kind"] == "service_snapshot"
+        assert document["format_version"] == SERVICE_SNAPSHOT_FORMAT
+        assert "cache" not in document  # opt-in only: dumps can be huge
+        text = json.dumps(document)
+        assert isinstance(text, str)
+
+    def test_cache_dump_warms_the_successor(self):
+        predecessor = fresh_service()
+        warmed = predecessor.route(QUERY)
+        assert not warmed.cache_hit
+        document = json_round_trip(predecessor.snapshot(include_cache=True))
+        assert len(document["cache"]) == 1
+
+        successor = fresh_service()
+        successor.restore(document)
+        served = successor.route(QUERY)
+        assert served.cache_hit  # no recompute: the dump carried the answer
+        assert served.result == warmed.result
+        assert served.cost_version == warmed.cost_version
+
+    def test_cache_dump_warms_the_stale_rung_too(self):
+        predecessor = fresh_service()
+        warmed = predecessor.route(QUERY)
+        document = json_round_trip(predecessor.snapshot(include_cache=True))
+
+        successor = fresh_service()
+        successor.restore(document)
+        # A post-restore update strands the fresh entry; the restored
+        # stale store still serves it under an expired deadline.
+        successor.apply_cost_update(shifted_update(2))
+        served = successor.route(QUERY, deadline_seconds=-1.0)
+        assert served.degraded and served.fallback_strategy == "stale_cache"
+        assert served.cost_version == warmed.cost_version
+        assert served.result == warmed.result
+
+    def test_restore_clears_the_successors_own_caches(self):
+        predecessor = fresh_service()
+        successor = fresh_service()
+        own = successor.route(QUERY)
+        assert not own.cache_hit
+        successor.restore(json_round_trip(predecessor.snapshot()))
+        again = successor.route(QUERY)
+        # The pre-restore entry was keyed under a version history the
+        # restore replaced: it must be gone, not served.
+        assert not again.cache_hit
+
+    def test_multi_slice_snapshot_round_trips_every_slice(self):
+        def build():
+            return RoutingService.from_time_slices(
+                NETWORK, time_sliced_cost_tables(NETWORK, MODEL)
+            )
+
+        predecessor = build()
+        predecessor.apply_cost_update(shifted_update(1), slice_name="peak")
+        answers = {
+            name: predecessor.route(QUERY, slice_name=name)
+            for name in predecessor.slice_names
+        }
+        successor = build()
+        successor.restore(json_round_trip(predecessor.snapshot()))
+        for name, reference in answers.items():
+            assert successor.cost_version(name) == predecessor.cost_version(name)
+            served = successor.route(QUERY, slice_name=name)
+            assert served.cost_version == reference.cost_version
+            assert_same_answer(served.result, reference.result, name)
+        # Departure-time dispatch works off the restored schedule.
+        assert successor.route_at(QUERY, 8 * 3600.0).slice_name == "peak"
+
+    @settings(max_examples=20)
+    @given(
+        shifts=st.lists(st.integers(min_value=0, max_value=8), max_size=4),
+        budget=st.integers(min_value=20, max_value=70),
+    )
+    def test_any_update_history_restores_bit_identically(self, shifts, budget):
+        """Property: whatever updates the predecessor absorbed, the
+        restored successor serves the same answer with the same tags."""
+        predecessor = fresh_service()
+        for shift in shifts:
+            predecessor.apply_cost_update(shifted_update(shift))
+        query = RoutingQuery(0, 24, budget)
+        reference = predecessor.route(query)
+
+        successor = fresh_service()
+        successor.restore(json_round_trip(predecessor.snapshot()))
+        served = successor.route(query)
+        assert served.cost_version == reference.cost_version
+        assert_same_answer(served.result, reference.result)
+
+
+class TestRestoreRejections:
+    def test_wrong_kind_and_format(self):
+        service = fresh_service()
+        document = service.snapshot()
+        with pytest.raises(ValueError, match="service_snapshot"):
+            service.restore({**document, "kind": "mystery"})
+        with pytest.raises(ValueError, match="format"):
+            service.restore({**document, "format_version": 99})
+
+    def test_slice_set_must_match(self):
+        multi = RoutingService.from_time_slices(
+            NETWORK, time_sliced_cost_tables(NETWORK, MODEL)
+        )
+        single = fresh_service()
+        with pytest.raises(ValueError, match="slices"):
+            single.restore(multi.snapshot())
+        with pytest.raises(ValueError, match="slices"):
+            multi.restore(single.snapshot())
+
+    def test_default_slice_must_match(self):
+        tables = time_sliced_cost_tables(NETWORK, MODEL)
+        predecessor = RoutingService.from_time_slices(NETWORK, tables)
+        successor = RoutingService.from_time_slices(
+            NETWORK, tables, default_slice="night"
+        )
+        with pytest.raises(ValueError, match="default slice"):
+            successor.restore(predecessor.snapshot())
+
+    def test_schedule_must_match(self):
+        tables = time_sliced_cost_tables(NETWORK, MODEL)
+        predecessor = RoutingService.from_time_slices(NETWORK, tables)
+        successor = RoutingService.from_time_slices(
+            NETWORK,
+            tables,
+            schedule=ScenarioSchedule(
+                [TimeSlice("peak", 0.0, float(DAY_SECONDS))]
+            ),
+        )
+        with pytest.raises(ValueError, match="schedule"):
+            successor.restore(predecessor.snapshot())
+
+
+# ----------------------------------------------------------------------
+# The blue/green handover protocol
+# ----------------------------------------------------------------------
+
+
+class TestBlueGreenHandover:
+    def test_handover_with_feed_replay_is_bit_identical(self):
+        """The full protocol: blue serves a sequenced feed, green restores
+        blue's mid-feed snapshot and replays the *entire* feed — the
+        sequence skip makes the overlap idempotent, and both services end
+        bit-identical on every probe query."""
+        feed = [shifted_update(shift, sequence=shift + 1) for shift in range(6)]
+
+        blue = fresh_service()
+        for event in feed[:3]:
+            blue.apply_cost_update(event)
+        handover = json_round_trip(blue.snapshot())
+        assert handover["feed_position"] == 3
+
+        green = fresh_service()
+        green.restore(handover)
+        assert green.cost_version() == blue.cost_version()
+
+        # Blue keeps serving the tail; green replays from the very start.
+        for event in feed[3:]:
+            blue.apply_cost_update(event)
+        for event in feed:
+            green.apply_cost_update(event)
+
+        assert green.cost_version() == blue.cost_version()
+        assert green.stats().updates_applied == 3  # replay skipped 1..3
+        for query in QUERIES:
+            mine = green.route(query)
+            reference = blue.route(query)
+            assert mine.cost_version == reference.cost_version
+            assert_same_answer(mine.result, reference.result, str(query))
+
+    def test_replayed_prefix_is_skipped_without_version_churn(self):
+        service = fresh_service()
+        event = shifted_update(1, sequence=5)
+        first = service.apply_cost_update(event)
+        second = service.apply_cost_update(event)  # duplicate delivery
+        stale = service.apply_cost_update(shifted_update(2, sequence=4))
+        assert first == second == stale  # neither bumped the version
+        advanced = service.apply_cost_update(shifted_update(3, sequence=6))
+        assert advanced == first + 1
+
+    def test_unnumbered_updates_always_apply(self):
+        service = fresh_service()
+        service.apply_cost_update(shifted_update(1, sequence=5))
+        before = service.cost_version()
+        assert service.apply_cost_update(shifted_update(2)) == before + 1
+
+
+# ----------------------------------------------------------------------
+# Persistence: snapshots on disk, and over the wire
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotPersistence:
+    def test_file_round_trip(self, tmp_path):
+        predecessor = fresh_service()
+        predecessor.apply_cost_update(shifted_update(1))
+        reference = predecessor.route(QUERY)
+        path = save_service_snapshot(
+            predecessor.snapshot(include_cache=True),
+            tmp_path / "snapshots" / "blue.json",
+        )
+        successor = fresh_service()
+        successor.restore(load_service_snapshot(path))
+        served = successor.route(QUERY)
+        assert served.cache_hit
+        assert served.cost_version == reference.cost_version
+        assert_same_answer(served.result, reference.result)
+
+    def test_save_validates_before_writing(self, tmp_path):
+        target = tmp_path / "never.json"
+        with pytest.raises(ValueError, match="service_snapshot"):
+            save_service_snapshot({"kind": "mystery"}, target)
+        assert not target.exists()  # a bad payload cannot shadow a file
+        with pytest.raises(ValueError, match="format"):
+            save_service_snapshot(
+                {"kind": "service_snapshot", "format_version": 99}, target
+            )
+        assert not target.exists()
+
+    def test_load_rejects_tampered_files(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps({"kind": "mystery"}))
+        with pytest.raises(ValueError, match="service_snapshot"):
+            load_service_snapshot(path)
+
+    def test_snapshot_over_the_wire(self):
+        service = fresh_service()
+        service.route(QUERY)
+        response = service.handle_request(
+            {"op": "snapshot", "include_cache": True}
+        )
+        assert response["ok"] is True
+        assert response["kind"] == "service_snapshot"
+        assert len(response["cache"]) == 1
+
+        successor = fresh_service()
+        document = {k: v for k, v in response.items() if k != "ok"}
+        successor.restore(json_round_trip(document))
+        assert successor.route(QUERY).cache_hit
+
+    def test_snapshot_wire_validation(self):
+        service = fresh_service()
+        response = service.handle_request(
+            {"op": "snapshot", "include_cache": "yes"}
+        )
+        assert response["ok"] is False
+        assert response["error_kind"] == "bad_request"
+        assert "include_cache" in response["error"]

@@ -172,6 +172,13 @@ def service_stats(draw):
             max_size=3,
         )
     )
+    breakers = draw(
+        st.dictionaries(
+            st.sampled_from(["pbr", "kbest", "multi_budget"]),
+            st.sampled_from(["closed", "open", "half_open"]),
+            max_size=3,
+        )
+    )
     return ServiceStats(
         requests=draw(counter),
         cache_hits=draw(counter),
@@ -181,6 +188,11 @@ def service_stats(draw):
         cache_entries=draw(counter),
         admission_skips=draw(counter),
         updates_applied=draw(counter),
+        deadline_misses=draw(counter),
+        served_degraded=draw(counter),
+        served_stale=draw(counter),
+        breaker_trips=draw(counter),
+        breakers=breakers,
         strategies=strategies,
     )
 
@@ -212,6 +224,7 @@ def cost_updates(draw):
         costs={edge_id: draw(distributions()) for edge_id in ids},
         slice_name=draw(st.none() | st.sampled_from(["peak", "night"])),
         source=draw(st.sampled_from(["feed", "congestion:state=2", "manual"])),
+        sequence=draw(st.none() | st.integers(min_value=0, max_value=10**9)),
     )
 
 
@@ -262,21 +275,45 @@ class TestKindTaggedRoundTrips:
         assert restored.num_no_route == batch.num_no_route
         assert restored.num_unanswered == batch.num_unanswered
 
-    @given(st.none() | any_answer, st.booleans())
-    def test_served(self, answer, cache_hit):
+    @given(
+        st.none() | any_answer,
+        st.booleans(),
+        st.none() | st.sampled_from(["anytime", "expected_time", "stale_cache"]),
+    )
+    def test_served(self, answer, cache_hit, fallback):
         served = ServedResult(
             result=answer,
             cache_hit=cache_hit,
             cost_version=7,
             slice_name="peak",
             strategy="pbr",
+            degraded=fallback is not None,
+            fallback_strategy=fallback,
         )
         document = json_round_trip(served.to_dict())
         assert document["kind"] == "served"
         assert ServedResult.from_dict(document, NETWORK) == served
 
-    @given(batch_results())
-    def test_served_batch(self, batch):
+    @given(st.none() | any_answer)
+    def test_served_pre_resilience_documents_still_parse(self, answer):
+        """Documents recorded before the degradation ladder existed must
+        keep deserialising as non-degraded answers."""
+        served = ServedResult(
+            result=answer,
+            cache_hit=False,
+            cost_version=1,
+            slice_name="default",
+            strategy="pbr",
+        )
+        document = json_round_trip(served.to_dict())
+        del document["degraded"]
+        del document["fallback_strategy"]
+        restored = ServedResult.from_dict(document, NETWORK)
+        assert restored.degraded is False
+        assert restored.fallback_strategy is None
+
+    @given(batch_results(), st.booleans())
+    def test_served_batch(self, batch, degraded):
         served = ServedBatch(
             batch=batch,
             cache_hits=3,
@@ -284,6 +321,7 @@ class TestKindTaggedRoundTrips:
             cost_version=2,
             slice_name="default",
             strategy="kbest",
+            degraded=degraded,
         )
         document = json_round_trip(served.to_dict())
         assert document["kind"] == "served_batch"
@@ -312,6 +350,27 @@ class TestKindTaggedRoundTrips:
         assert restored.cache_expirations == 0
         assert restored.admission_skips == 0
         assert restored.cache_hits == stats.cache_hits
+
+    @given(service_stats())
+    def test_service_stats_pre_resilience_documents_still_parse(self, stats):
+        """Documents recorded before the resilience counters existed must
+        keep deserialising (zero misses, no breakers)."""
+        document = json_round_trip(stats.to_dict())
+        for name in (
+            "deadline_misses",
+            "served_degraded",
+            "served_stale",
+            "breaker_trips",
+            "breakers",
+        ):
+            del document[name]
+        restored = ServiceStats.from_dict(document)
+        assert restored.deadline_misses == 0
+        assert restored.served_degraded == 0
+        assert restored.served_stale == 0
+        assert restored.breaker_trips == 0
+        assert restored.breakers == {}
+        assert restored.requests == stats.requests
 
     @given(schedules())
     def test_schedule(self, schedule):
