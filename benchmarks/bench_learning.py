@@ -1,0 +1,260 @@
+"""The closed learning loop: quality improves, ingest keeps up, dedup pays.
+
+The acceptance floors for the learning subsystem (ISSUE: repro.learning):
+
+* **quality-improvement floor** — streaming a synthetic GPS corpus through
+  ``LearningPipeline`` into a live ``RoutingService`` must leave the mean
+  ground-truth on-time probability of the served routes **no worse** than
+  the cold free-flow baseline, and must shrink the service's calibration
+  error (|its probability estimate − the truth|) by at least
+  ``CALIBRATION_SHRINK_FLOOR``× — the loop's whole point is that the
+  service stops being sure everything arrives on time;
+* **ingest throughput floor** — the ingestion front (HMM matching included)
+  sustains at least ``INGEST_TRIPS_PER_SECOND_FLOOR`` trips/s on the bench
+  grid, so a day of city-scale trips stays a batch job, not a backlog;
+* **dedup speedup floor** — a commuter-shaped workload (every trace a
+  repeat of one OD pair) ingests at least ``DEDUP_SPEEDUP_FLOOR``× faster
+  with OD-signature deduplication than with it disabled, while still
+  contributing every trip's own travel-time observations.
+
+The CI workflow records this file's timings as ``BENCH_learning.json``.
+"""
+
+import numpy as np
+
+from repro.core import ConvolutionModel, EdgeCostTable
+from repro.learning import (
+    EstimationConfig,
+    GateConfig,
+    IngestConfig,
+    LearningPipeline,
+    PipelineConfig,
+    TripIngestor,
+)
+from repro.network import grid_network
+from repro.routing import RoutingQuery
+from repro.service import RoutingService
+from repro.trajectories import (
+    CongestionModel,
+    HmmMapMatcher,
+    TripGenerator,
+    emit_gps,
+)
+from repro.trajectories.congestion import STRUCTURED_CONFIG, CongestionConfig
+from repro.trajectories.matching import MatcherConfig
+
+from conftest import emit
+
+RESOLUTION = 5.0
+
+#: The learned table must never serve worse routes than free flow.
+QUALITY_DELTA_FLOOR = 0.0
+
+#: Calibration error must shrink at least this much (measured ~4.8x).
+CALIBRATION_SHRINK_FLOOR = 2.0
+
+#: Ingestion front sustained throughput, HMM matching included
+#: (measured ~1500 trips/s on the bench grid).
+INGEST_TRIPS_PER_SECOND_FLOOR = 100.0
+
+#: Repeat-OD ingest speedup from signature dedup (measured ~5x).
+DEDUP_SPEEDUP_FLOOR = 2.0
+
+NUM_TRIPS = 300
+BATCH_SIZE = 100
+NUM_EVAL_QUERIES = 15
+
+
+def _world():
+    network = grid_network(6, 6, spacing=300.0, seed=1)
+    truth = CongestionModel(
+        network,
+        CongestionConfig(
+            category_multipliers=STRUCTURED_CONFIG.category_multipliers,
+            dependence_probability=0.0,
+        ),
+        seed=2,
+    )
+    matcher = HmmMapMatcher(
+        network, config=MatcherConfig(candidate_radius=80.0), resolution=RESOLUTION
+    )
+    return network, truth, matcher
+
+
+def _fresh_service(network):
+    return RoutingService(
+        network, ConvolutionModel(EdgeCostTable(network, resolution=RESOLUTION))
+    )
+
+
+def _as_gps(network, trip, rng):
+    route = [network.edge(edge_id) for edge_id in trip.edge_ids]
+    times = [traversal.travel_time for traversal in trip.traversals]
+    return emit_gps(
+        network,
+        route,
+        times,
+        resolution=RESOLUTION,
+        trajectory_id=trip.id,
+        noise_std=5.0,
+        rng=rng,
+    )
+
+
+def _eval_queries(network, service, rng):
+    queries = []
+    while len(queries) < NUM_EVAL_QUERIES:
+        source = int(rng.integers(0, network.num_vertices))
+        target = int(rng.integers(0, network.num_vertices))
+        if source == target:
+            continue
+        probe = service.route(RoutingQuery(source=source, target=target, budget=500))
+        if not probe.result.found or len(probe.result.path) < 4:
+            continue
+        budget = max(4, int(probe.result.distribution.mean() * 1.35))
+        queries.append(RoutingQuery(source=source, target=target, budget=budget))
+    service.clear_cache()
+    return queries
+
+
+def _quality(truth, service, queries):
+    scores, estimates = [], []
+    for query in queries:
+        served = service.route(query)
+        scores.append(truth.path_probability_within(served.result.path, query.budget))
+        estimates.append(served.result.probability)
+    return float(np.mean(scores)), float(np.mean(estimates))
+
+
+def test_closed_loop_quality_improvement(benchmark):
+    """Floor: learned quality >= baseline, calibration error shrinks >= 2x."""
+    network, truth, matcher = _world()
+    service = _fresh_service(network)
+    pipeline = LearningPipeline(
+        service,
+        matcher,
+        config=PipelineConfig(
+            min_trips_per_update=BATCH_SIZE,
+            estimation=EstimationConfig(
+                min_samples=8, max_iterations=4, prior_weight=3.0
+            ),
+            gate=GateConfig(folds=4),
+        ),
+    )
+    rng = np.random.default_rng(23)
+    queries = _eval_queries(network, service, rng)
+    baseline_quality, baseline_estimate = _quality(truth, service, queries)
+    trips = list(TripGenerator(network, truth, seed=7).generate(NUM_TRIPS))
+    batches = []
+    for start in range(0, NUM_TRIPS, BATCH_SIZE):
+        batches.append(
+            [
+                _as_gps(network, trip, rng) if i % 2 == 0 else trip
+                for i, trip in enumerate(trips[start : start + BATCH_SIZE])
+            ]
+        )
+
+    def run_loop():
+        for batch in batches:
+            pipeline.process(batch)
+        return pipeline.stats()
+
+    stats = benchmark.pedantic(run_loop, rounds=1, iterations=1)
+    learned_quality, learned_estimate = _quality(truth, service, queries)
+    baseline_error = abs(baseline_estimate - baseline_quality)
+    learned_error = abs(learned_estimate - learned_quality)
+    shrink = baseline_error / max(learned_error, 1e-9)
+    delta = learned_quality - baseline_quality
+
+    emit(
+        "Closed learning loop (quality)",
+        f"baseline: true {baseline_quality:.3f}, estimate {baseline_estimate:.3f}"
+        f" (err {baseline_error:.3f})\n"
+        f"learned : true {learned_quality:.3f}, estimate {learned_estimate:.3f}"
+        f" (err {learned_error:.3f})\n"
+        f"quality delta {delta:+.3f}, calibration shrink {shrink:.1f}x, "
+        f"updates published {stats.updates_published}/{stats.estimations_run}",
+    )
+    assert stats.updates_published >= 1, "the loop never published an update"
+    assert delta >= QUALITY_DELTA_FLOOR, (
+        f"learned quality regressed: {delta:+.3f} < {QUALITY_DELTA_FLOOR}"
+    )
+    assert shrink >= CALIBRATION_SHRINK_FLOOR, (
+        f"calibration error shrank only {shrink:.1f}x "
+        f"< {CALIBRATION_SHRINK_FLOOR}x"
+    )
+
+
+def test_ingest_throughput(benchmark):
+    """Floor: >= 100 trips/s through the matching ingestion front."""
+    network, truth, matcher = _world()
+    rng = np.random.default_rng(5)
+    trips = list(TripGenerator(network, truth, seed=11).generate(200))
+    traces = [_as_gps(network, trip, rng) for trip in trips]
+
+    def ingest_all():
+        ingestor = TripIngestor(matcher)
+        return ingestor.ingest(traces)
+
+    result = benchmark.pedantic(ingest_all, rounds=1, iterations=1)
+    throughput = result.num_trips / result.elapsed_seconds
+    emit(
+        "Ingest throughput",
+        f"{result.num_trips} trips in {result.elapsed_seconds:.3f}s = "
+        f"{throughput:.0f} trips/s ({result.num_deduped} deduped, "
+        f"{result.num_rejected} rejected)",
+    )
+    assert result.num_rejected == 0
+    assert throughput >= INGEST_TRIPS_PER_SECOND_FLOOR, (
+        f"ingest ran at {throughput:.0f} trips/s "
+        f"< {INGEST_TRIPS_PER_SECOND_FLOOR} trips/s"
+    )
+
+
+def test_dedup_speedup(benchmark):
+    """Floor: repeat-OD ingest >= 2x faster with signature dedup on."""
+    network, truth, matcher = _world()
+    rng = np.random.default_rng(9)
+    generator = TripGenerator(network, truth, seed=13)
+    # One commuter corridor, re-driven 150 times with fresh noise/times.
+    template = next(
+        trip for trip in generator.generate(50) if len(trip.edge_ids) >= 5
+    )
+    route = [network.edge(edge_id) for edge_id in template.edge_ids]
+    traces = []
+    for index in range(150):
+        times = truth.sample_path_times(route, rng)
+        traces.append(
+            emit_gps(
+                network,
+                route,
+                times,
+                resolution=RESOLUTION,
+                trajectory_id=index,
+                noise_std=5.0,
+                rng=rng,
+            )
+        )
+
+    def ingest_with_dedup():
+        ingestor = TripIngestor(matcher)
+        return ingestor.ingest(traces)
+
+    def ingest_without_dedup():
+        ingestor = TripIngestor(matcher, config=IngestConfig(dedup_cell_metres=0.0))
+        return ingestor.ingest(traces)
+
+    with_dedup = benchmark.pedantic(ingest_with_dedup, rounds=1, iterations=1)
+    without_dedup = ingest_without_dedup()
+    speedup = without_dedup.elapsed_seconds / with_dedup.elapsed_seconds
+    emit(
+        "Dedup speedup",
+        f"with dedup: {with_dedup.elapsed_seconds:.3f}s "
+        f"({with_dedup.num_deduped}/{with_dedup.num_trips} cache hits)\n"
+        f"without   : {without_dedup.elapsed_seconds:.3f}s\n"
+        f"speedup   : {speedup:.1f}x",
+    )
+    assert with_dedup.num_deduped >= 100, "dedup cache barely hit"
+    assert speedup >= DEDUP_SPEEDUP_FLOOR, (
+        f"dedup sped ingest up only {speedup:.1f}x < {DEDUP_SPEEDUP_FLOOR}x"
+    )

@@ -447,6 +447,7 @@ class RoutingService:
         self._deadline_misses = 0
         self._served_degraded = 0
         self._served_stale = 0
+        self._learning_stats_provider: Callable[[], Any] | None = None
         self.add_slice(slice_name, combiner)
 
     @classmethod
@@ -1249,6 +1250,30 @@ class RoutingService:
         """Drop every cached answer (counters survive; engines untouched)."""
         self._cache.clear()
 
+    def attach_learning(self, stats_provider: Callable[[], Any]) -> None:
+        """Register a learning loop's stats surface with this service.
+
+        ``stats_provider`` is a zero-argument callable returning a snapshot
+        object with a ``to_dict()`` method (e.g.
+        ``repro.learning.LearningPipeline.stats`` — the pipeline registers
+        itself at construction).  Once attached, the ``learning_stats``
+        wire op answers from it; the service itself never imports
+        :mod:`repro.learning`, so the coupling stays one-way.
+        """
+        if not callable(stats_provider):
+            raise TypeError("stats_provider must be callable")
+        self._learning_stats_provider = stats_provider
+
+    def learning_stats(self) -> Any:
+        """The attached learning loop's current stats snapshot.
+
+        Raises ``LookupError`` when no learning pipeline is attached.
+        """
+        provider = self._learning_stats_provider
+        if provider is None:
+            raise LookupError("no learning pipeline attached to this service")
+        return provider()
+
     # ------------------------------------------------------------------
     # Wire protocol
     # ------------------------------------------------------------------
@@ -1324,6 +1349,8 @@ class RoutingService:
                 }
             if op == "stats":
                 return {"ok": True, **self.stats().to_dict()}
+            if op == "learning_stats":
+                return {"ok": True, **self.learning_stats().to_dict()}
             if op == "snapshot":
                 include_cache = request.get("include_cache", False)
                 if not isinstance(include_cache, bool):
@@ -1334,7 +1361,7 @@ class RoutingService:
                 return {"ok": True, **self.snapshot(include_cache=include_cache)}
             raise ValueError(
                 f"unknown op {op!r}; expected route/route_at/route_many/"
-                "apply_update/stats/snapshot"
+                "apply_update/stats/learning_stats/snapshot"
             )
         except Exception as exc:
             # The always-answer contract: *any* failure — malformed

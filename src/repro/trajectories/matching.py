@@ -76,33 +76,72 @@ class HmmMapMatcher:
         sigma = self.config.gps_noise_std
         return -0.5 * (distance / sigma) ** 2
 
-    def _network_distance(self, from_edge: Edge, to_edge: Edge) -> float:
-        """Free-flow network distance (metres) from ``from_edge``'s target to
-        ``to_edge``'s source, cached; staying on the same edge costs zero."""
-        if from_edge.id == to_edge.id:
+    def _projection(self, edge: Edge, x: float, y: float) -> float:
+        """Distance along ``edge`` (from its source) of the fix's projection."""
+        source = self.network.vertex(edge.source)
+        target = self.network.vertex(edge.target)
+        dx, dy = target.x - source.x, target.y - source.y
+        norm_sq = dx * dx + dy * dy
+        if norm_sq <= 0.0:
             return 0.0
-        if from_edge.target == to_edge.source:
+        t = ((x - source.x) * dx + (y - source.y) * dy) / norm_sq
+        return min(1.0, max(0.0, t)) * math.hypot(dx, dy)
+
+    def _vertex_distance(self, from_vertex: int, to_vertex: int) -> float:
+        """Free-flow network distance (metres) between vertices, cached."""
+        if from_vertex == to_vertex:
             return 0.0
-        key = (from_edge.target, to_edge.source)
+        key = (from_vertex, to_vertex)
         cached = self._route_cache.get(key)
         if cached is not None:
             return cached
         dist, _ = dijkstra(
             self.network,
-            from_edge.target,
+            from_vertex,
             weight=lambda e: e.length,
-            targets={to_edge.source},
+            targets={to_vertex},
         )
-        value = dist.get(to_edge.source, math.inf)
+        value = dist.get(to_vertex, math.inf)
         self._route_cache[key] = value
         return value
 
+    def _route_distance(
+        self, from_edge: Edge, from_offset: float, to_edge: Edge, to_offset: float
+    ) -> float:
+        """Driving distance between two projected positions.
+
+        Newson & Krumm compare the displacement of a fix pair against the
+        network distance between the *projections* on the candidate edges —
+        not between edge endpoints.  The distinction matters: with endpoint
+        distances, staying on the current edge is penalised exactly as much
+        as hopping to any adjacent edge, and the decoder wanders onto
+        cross-streets that stitching then pads into long detours.
+        """
+        if from_edge.id == to_edge.id and to_offset >= from_offset:
+            return to_offset - from_offset
+        segment_length = math.hypot(
+            self.network.vertex(from_edge.target).x
+            - self.network.vertex(from_edge.source).x,
+            self.network.vertex(from_edge.target).y
+            - self.network.vertex(from_edge.source).y,
+        )
+        return (
+            (segment_length - from_offset)
+            + self._vertex_distance(from_edge.target, to_edge.source)
+            + to_offset
+        )
+
     def _transition_logprob(
-        self, from_edge: Edge, to_edge: Edge, moved: float
+        self,
+        from_edge: Edge,
+        from_offset: float,
+        to_edge: Edge,
+        to_offset: float,
+        moved: float,
     ) -> float:
         """Newson–Krumm style transition: penalise the gap between network
         routing distance and the straight-line displacement of the fix pair."""
-        route = self._network_distance(from_edge, to_edge)
+        route = self._route_distance(from_edge, from_offset, to_edge, to_offset)
         if math.isinf(route):
             return -math.inf
         return -abs(route - moved) / self.config.beta
@@ -117,19 +156,24 @@ class HmmMapMatcher:
         Returns the deduplicated edge sequence; raises ``ValueError`` when no
         fix has any candidate edge (trace is off-network).
         """
-        observations = [
-            (point, self._candidates(point.x, point.y)) for point in trajectory.points
-        ]
-        observations = [(p, c) for p, c in observations if c]
+        observations = []
+        for point in trajectory.points:
+            candidates = [
+                (edge, distance, self._projection(edge, point.x, point.y))
+                for edge, distance in self._candidates(point.x, point.y)
+            ]
+            if candidates:
+                observations.append((point, candidates))
         if not observations:
             raise ValueError(f"trajectory {trajectory.id}: no candidates near any fix")
 
         # Viterbi over the filtered fixes.
         first_point, first_cands = observations[0]
         scores: dict[int, float] = {
-            edge.id: self._emission_logprob(d) for edge, d in first_cands
+            edge.id: self._emission_logprob(d) for edge, d, _ in first_cands
         }
-        cand_edges: dict[int, Edge] = {edge.id: edge for edge, _ in first_cands}
+        cand_edges: dict[int, Edge] = {edge.id: edge for edge, _, _ in first_cands}
+        offsets: dict[int, float] = {edge.id: o for edge, _, o in first_cands}
         back: list[dict[int, int]] = [{}]
         previous_point = first_point
         previous_ids = list(scores)
@@ -137,14 +181,15 @@ class HmmMapMatcher:
         for point, candidates in observations[1:]:
             moved = math.hypot(point.x - previous_point.x, point.y - previous_point.y)
             new_scores: dict[int, float] = {}
+            new_offsets: dict[int, float] = {}
             pointers: dict[int, int] = {}
-            for edge, distance in candidates:
+            for edge, distance, offset in candidates:
                 cand_edges[edge.id] = edge
                 emission = self._emission_logprob(distance)
                 best_prev, best_score = None, -math.inf
                 for prev_id in previous_ids:
                     transition = self._transition_logprob(
-                        cand_edges[prev_id], edge, moved
+                        cand_edges[prev_id], offsets[prev_id], edge, offset, moved
                     )
                     score = scores[prev_id] + transition
                     if score > best_score:
@@ -152,14 +197,17 @@ class HmmMapMatcher:
                 if best_prev is None:
                     continue
                 new_scores[edge.id] = best_score + emission
+                new_offsets[edge.id] = offset
                 pointers[edge.id] = best_prev
             if not new_scores:
                 # Broken chain (e.g. GPS gap): restart scoring at this fix.
                 new_scores = {
-                    edge.id: self._emission_logprob(d) for edge, d in candidates
+                    edge.id: self._emission_logprob(d) for edge, d, _ in candidates
                 }
+                new_offsets = {edge.id: o for edge, _, o in candidates}
                 pointers = {}
             scores = new_scores
+            offsets = new_offsets
             previous_ids = list(scores)
             back.append(pointers)
             previous_point = point
@@ -179,7 +227,43 @@ class HmmMapMatcher:
         for edge_id in sequence:
             if not edges or edges[-1].id != edge_id:
                 edges.append(cand_edges[edge_id])
-        return self._stitch(edges)
+        edges = self._stitch(edges)
+        return self._trim(
+            edges, observations[0][0], observations[-1][0]
+        )
+
+    def _trim(self, edges: list[Edge], first_point, last_point) -> list[Edge]:
+        """Drop head/tail edges the vehicle never actually traversed.
+
+        A fix at a vertex projects equally well onto every edge touching it;
+        an edge *into* the origin (or *out of* the destination) then ties
+        with the true first (last) edge and pads the match by one edge whose
+        travel time the trip never paid.  The tell: the terminal fix
+        projects at the very end (start) of that edge, i.e. the traversed
+        span is ~zero.  Tolerance is the expected GPS noise.
+        """
+        slack = 2.0 * self.config.gps_noise_std
+        while len(edges) > 1:
+            head = edges[0]
+            length = math.hypot(
+                self.network.vertex(head.target).x
+                - self.network.vertex(head.source).x,
+                self.network.vertex(head.target).y
+                - self.network.vertex(head.source).y,
+            )
+            offset = self._projection(head, first_point.x, first_point.y)
+            if offset >= length - slack and head.target == edges[1].source:
+                edges = edges[1:]
+            else:
+                break
+        while len(edges) > 1:
+            tail = edges[-1]
+            offset = self._projection(tail, last_point.x, last_point.y)
+            if offset <= slack and edges[-2].target == tail.source:
+                edges = edges[:-1]
+            else:
+                break
+        return edges
 
     def _stitch(self, edges: list[Edge]) -> list[Edge]:
         """Insert shortest-path gap edges so the output is a connected path."""

@@ -1,0 +1,69 @@
+"""Shared world for the learning-loop suite.
+
+One small grid with a latent-congestion ground truth, an HMM matcher, and
+a trip generator — module-scoped, since every stage test reads the same
+world and none mutates it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvolutionModel, EdgeCostTable
+from repro.network import grid_network
+from repro.service import RoutingService
+from repro.trajectories import (
+    CongestionModel,
+    HmmMapMatcher,
+    TripGenerator,
+    emit_gps,
+)
+from repro.trajectories.matching import MatcherConfig
+
+RESOLUTION = 5.0
+
+
+@pytest.fixture(scope="session")
+def world():
+    network = grid_network(6, 6, spacing=300.0, seed=1)
+    truth = CongestionModel(network, seed=2)
+    matcher = HmmMapMatcher(
+        network,
+        config=MatcherConfig(candidate_radius=80.0),
+        resolution=RESOLUTION,
+    )
+    generator = TripGenerator(network, truth, seed=7)
+    return network, truth, matcher, generator
+
+
+@pytest.fixture
+def service(world):
+    """A fresh service on an *empty* table (free-flow fallback everywhere)."""
+    network = world[0]
+    table = EdgeCostTable(network, resolution=RESOLUTION)
+    return RoutingService(network, ConvolutionModel(table))
+
+
+def _emit_trip_gps(network, trip, *, rng, noise_std=5.0, interval=10.0):
+    route = [network.edge(edge_id) for edge_id in trip.edge_ids]
+    times = [traversal.travel_time for traversal in trip.traversals]
+    return emit_gps(
+        network,
+        route,
+        times,
+        resolution=RESOLUTION,
+        trajectory_id=trip.id,
+        interval=interval,
+        noise_std=noise_std,
+        rng=rng,
+    )
+
+
+@pytest.fixture(scope="session")
+def as_gps():
+    """Helper: re-emit a generated (matched) trip as a noisy GPS trace."""
+    return _emit_trip_gps
+
+
+@pytest.fixture
+def gps_rng():
+    return np.random.default_rng(11)

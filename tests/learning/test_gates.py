@@ -1,0 +1,152 @@
+"""CrossValidationGate: held-out likelihood, fold wins, fail-closed."""
+
+import json
+
+import pytest
+
+from repro.histograms import DiscreteDistribution
+from repro.learning import (
+    CrossValidationGate,
+    EstimationConfig,
+    FoldScore,
+    GateConfig,
+    GateReport,
+)
+from repro.trajectories import MatchedTrajectory
+
+
+def trip(trip_id, edge_times):
+    return MatchedTrajectory.from_times(
+        trip_id,
+        [edge_id for edge_id, _ in edge_times],
+        [ticks for _, ticks in edge_times],
+    )
+
+
+def free_flow_baseline(ticks=4):
+    """A point-mass baseline, like an empty EdgeCostTable's fallback."""
+    point = DiscreteDistribution.point(ticks)
+    return lambda edge_id: point
+
+
+@pytest.fixture
+def congested_corpus():
+    """40 trips over two edges, consistently slower than the baseline."""
+    trips = []
+    for i in range(40):
+        slow = 10 + (i % 3)
+        trips.append(trip(i, [(0, slow), (1, slow + 2)]))
+    return trips
+
+
+class TestVerdicts:
+    def test_informative_corpus_passes_against_free_flow(self, congested_corpus):
+        gate = CrossValidationGate(
+            free_flow_baseline(),
+            config=GateConfig(folds=4),
+            estimation=EstimationConfig(min_samples=2),
+        )
+        report = gate.evaluate(congested_corpus)
+        assert report.passed
+        assert report.improvement > 0
+        assert report.win_fraction == 1.0
+        assert len(report.folds) == 4
+        assert report.num_trips == 40
+
+    def test_candidate_no_better_than_truthful_baseline_fails(self):
+        """When the baseline already matches the data the candidate cannot
+        win (it fits noise at best), so the gate must hold the publish."""
+        trips = [trip(i, [(0, 4), (1, 4)]) for i in range(24)]
+        gate = CrossValidationGate(
+            free_flow_baseline(4),
+            config=GateConfig(folds=4, min_improvement=1e-6),
+            estimation=EstimationConfig(min_samples=2),
+        )
+        report = gate.evaluate(trips)
+        assert not report.passed
+
+    def test_fails_closed_on_tiny_corpus(self, congested_corpus):
+        gate = CrossValidationGate(
+            free_flow_baseline(), config=GateConfig(folds=4)
+        )
+        report = gate.evaluate(congested_corpus[:3])
+        assert not report.passed
+        assert report.folds == ()
+        assert report.num_trips == 3
+
+    def test_min_improvement_margin_is_enforced(self, congested_corpus):
+        lenient = CrossValidationGate(
+            free_flow_baseline(),
+            config=GateConfig(folds=4, min_improvement=0.0),
+            estimation=EstimationConfig(min_samples=2),
+        ).evaluate(congested_corpus)
+        greedy = CrossValidationGate(
+            free_flow_baseline(),
+            config=GateConfig(folds=4, min_improvement=1e9),
+            estimation=EstimationConfig(min_samples=2),
+        ).evaluate(congested_corpus)
+        assert lenient.passed
+        assert not greedy.passed
+        # Same evidence either way — only the verdict moved.
+        assert greedy.improvement == pytest.approx(lenient.improvement)
+
+    def test_uncovered_edges_fall_back_to_baseline(self):
+        """Held-out trips over edges the candidate never saw score equally
+        under both models, so they cannot flip the verdict by themselves."""
+        trips = [trip(i, [(0, 4)]) for i in range(12)]
+        gate = CrossValidationGate(
+            free_flow_baseline(4),
+            # min_samples high enough that nothing is ever estimated.
+            config=GateConfig(folds=3, min_improvement=1e-6),
+            estimation=EstimationConfig(min_samples=1000),
+        )
+        report = gate.evaluate(trips)
+        assert report.candidate_loglik == pytest.approx(report.baseline_loglik)
+        assert not report.passed
+
+
+class TestReportShape:
+    def test_report_round_trip(self, congested_corpus):
+        gate = CrossValidationGate(
+            free_flow_baseline(),
+            config=GateConfig(folds=4),
+            estimation=EstimationConfig(min_samples=2),
+        )
+        report = gate.evaluate(congested_corpus)
+        document = json.loads(json.dumps(report.to_dict()))
+        assert document["kind"] == "gate_report"
+        assert GateReport.from_dict(document) == report
+
+    def test_fold_scores_carry_the_evidence(self, congested_corpus):
+        gate = CrossValidationGate(
+            free_flow_baseline(),
+            config=GateConfig(folds=4),
+            estimation=EstimationConfig(min_samples=2),
+        )
+        report = gate.evaluate(congested_corpus)
+        assert sum(fold.num_traversals for fold in report.folds) == 80
+        for fold in report.folds:
+            assert fold.improvement == pytest.approx(
+                fold.candidate_loglik - fold.baseline_loglik
+            )
+
+    def test_fold_score_round_trip(self):
+        score = FoldScore(
+            fold=2, candidate_loglik=-1.5, baseline_loglik=-20.0, num_traversals=17
+        )
+        assert FoldScore.from_dict(json.loads(json.dumps(score.to_dict()))) == score
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"folds": 1},
+            {"required_win_fraction": 1.5},
+            {"required_win_fraction": -0.1},
+            {"smoothing": 0.0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GateConfig(**kwargs)

@@ -1,0 +1,160 @@
+"""LearningPipeline: orchestration, cadence, stats, wire integration."""
+
+import json
+
+import pytest
+
+from repro.learning import (
+    EstimationConfig,
+    GateConfig,
+    IngestConfig,
+    LearningPipeline,
+    LearningStats,
+    PipelineConfig,
+)
+
+
+def make_pipeline(service, matcher, **overrides):
+    defaults = dict(
+        min_trips_per_update=20,
+        estimation=EstimationConfig(min_samples=3, max_iterations=4),
+        gate=GateConfig(folds=3),
+        ingest=IngestConfig(dedup_cell_metres=50.0),
+    )
+    defaults.update(overrides)
+    return LearningPipeline(service, matcher, config=PipelineConfig(**defaults))
+
+
+class TestCadence:
+    def test_small_batch_only_ingests(self, world, service):
+        _, _, matcher, generator = world
+        pipeline = make_pipeline(service, matcher)
+        result, update = pipeline.process(list(generator.generate(5)))
+        assert result.num_trips == 5
+        assert update is None
+        assert pipeline.stats().estimations_run == 0
+
+    def test_update_fires_once_threshold_reached(self, world, service):
+        _, _, matcher, generator = world
+        pipeline = make_pipeline(service, matcher)
+        trips = list(generator.generate(25))
+        _, update = pipeline.process(trips[:12])
+        assert update is None
+        _, update = pipeline.process(trips[12:])
+        assert update is not None
+        # Cadence counter reset: the next small batch does not re-fire.
+        _, again = pipeline.process(list(generator.generate(3)))
+        assert again is None
+
+    def test_run_update_works_on_demand(self, world, service):
+        _, _, matcher, generator = world
+        pipeline = make_pipeline(service, matcher)
+        pipeline.ingest(list(generator.generate(24)))
+        update = pipeline.run_update()
+        assert update.gate.num_trips == 24
+        assert update.estimation.num_trips == 24
+
+    def test_gate_refusal_publishes_nothing(self, world, service):
+        _, _, matcher, generator = world
+        version_before = service.cost_version()
+        pipeline = make_pipeline(
+            service,
+            matcher,
+            gate=GateConfig(folds=3, min_improvement=1e9),
+        )
+        pipeline.ingest(list(generator.generate(24)))
+        update = pipeline.run_update()
+        assert not update.accepted
+        assert update.published is None
+        assert service.cost_version() == version_before
+        stats = pipeline.stats()
+        assert stats.gate_failures == 1
+        assert stats.updates_published == 0
+
+
+class TestStats:
+    def test_counters_accumulate_across_cycles(self, world, service):
+        _, _, matcher, generator = world
+        pipeline = make_pipeline(service, matcher)
+        trips = list(generator.generate(44))
+        pipeline.process(trips[:22])
+        pipeline.process(trips[22:])
+        stats = pipeline.stats()
+        assert stats.trips_ingested == 44
+        assert stats.batches_ingested == 2
+        assert stats.estimations_run == 2
+        assert stats.gate_passes + stats.gate_failures == 2
+        if stats.updates_published:
+            assert stats.last_sequence is not None
+            assert stats.publish_seconds > 0.0
+            assert stats.mean_publish_seconds > 0.0
+        assert stats.ingest_seconds > 0.0
+        assert stats.estimation_seconds > 0.0
+
+    def test_stats_snapshot_is_detached(self, world, service):
+        _, _, matcher, generator = world
+        pipeline = make_pipeline(service, matcher)
+        first = pipeline.stats()
+        pipeline.ingest(list(generator.generate(4)))
+        assert first.trips_ingested == 0
+        assert pipeline.stats().trips_ingested == 4
+
+    def test_stats_round_trip_through_json(self, world, service):
+        _, _, matcher, generator = world
+        pipeline = make_pipeline(service, matcher)
+        pipeline.process(list(generator.generate(22)))
+        stats = pipeline.stats()
+        document = json.loads(json.dumps(stats.to_dict()))
+        assert document["kind"] == "learning_stats"
+        assert LearningStats.from_dict(document) == stats
+
+    def test_derived_rates(self):
+        stats = LearningStats(
+            trips_ingested=10,
+            trips_deduped=4,
+            gate_passes=3,
+            gate_failures=1,
+            updates_published=2,
+            publish_seconds=0.5,
+        )
+        assert stats.dedup_rate == pytest.approx(0.4)
+        assert stats.gate_pass_rate == pytest.approx(0.75)
+        assert stats.mean_publish_seconds == pytest.approx(0.25)
+        empty = LearningStats()
+        assert empty.dedup_rate == 0.0
+        assert empty.gate_pass_rate == 0.0
+        assert empty.mean_publish_seconds == 0.0
+
+
+class TestWireIntegration:
+    def test_pipeline_attaches_to_the_service(self, world, service):
+        _, _, matcher, generator = world
+        pipeline = make_pipeline(service, matcher)
+        pipeline.ingest(list(generator.generate(6)))
+        response = service.handle_request({"op": "learning_stats"})
+        assert response["ok"]
+        assert response["kind"] == "learning_stats"
+        assert LearningStats.from_dict(response) == pipeline.stats()
+
+    def test_unattached_service_answers_with_an_error_document(self, service):
+        response = service.handle_request({"op": "learning_stats"})
+        assert response == {
+            "ok": False,
+            "error": "LookupError: no learning pipeline attached to this service",
+            "error_kind": "internal",
+        }
+
+    def test_attach_learning_rejects_non_callables(self, service):
+        with pytest.raises(TypeError):
+            service.attach_learning("not-a-callable")
+
+    def test_unknown_op_message_names_learning_stats(self, service):
+        response = service.handle_request({"op": "nonsense"})
+        assert not response["ok"]
+        assert "learning_stats" in response["error"]
+
+
+class TestConfigValidation:
+    def test_zero_cadence_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(min_trips_per_update=0)

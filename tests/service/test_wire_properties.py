@@ -392,3 +392,110 @@ class TestDocumentHygiene:
         document = {"kind": "mystery", "query": query.to_dict()}
         with pytest.raises(ValueError, match="kind"):
             result_from_dict(document, NETWORK)
+
+
+# ----------------------------------------------------------------------
+# Learning-loop documents (PR 7): the pipeline's wire surface
+# ----------------------------------------------------------------------
+
+from repro.learning import GateReport, FoldScore, LearningStats, PublishResult  # noqa: E402
+
+loglikelihoods = st.floats(min_value=-50.0, max_value=0.0, allow_nan=False)
+counts = st.integers(min_value=0, max_value=1_000_000)
+seconds = st.floats(min_value=0.0, max_value=3600.0, allow_nan=False)
+
+
+@st.composite
+def fold_scores(draw):
+    return FoldScore(
+        fold=draw(st.integers(min_value=0, max_value=15)),
+        candidate_loglik=draw(loglikelihoods),
+        baseline_loglik=draw(loglikelihoods),
+        num_traversals=draw(counts),
+    )
+
+
+@st.composite
+def gate_reports(draw):
+    folds = tuple(draw(st.lists(fold_scores(), min_size=0, max_size=8)))
+    return GateReport(
+        passed=draw(st.booleans()),
+        folds=folds,
+        candidate_loglik=draw(loglikelihoods),
+        baseline_loglik=draw(loglikelihoods),
+        win_fraction=draw(probabilities),
+        num_trips=draw(counts),
+    )
+
+
+@st.composite
+def learning_stats(draw):
+    return LearningStats(
+        trips_ingested=draw(counts),
+        trips_matched=draw(counts),
+        trips_deduped=draw(counts),
+        trips_rejected=draw(counts),
+        batches_ingested=draw(counts),
+        estimations_run=draw(counts),
+        edges_estimated=draw(counts),
+        gate_passes=draw(counts),
+        gate_failures=draw(counts),
+        updates_published=draw(counts),
+        edges_published=draw(counts),
+        last_sequence=draw(st.none() | st.integers(min_value=1, max_value=10**9)),
+        ingest_seconds=draw(seconds),
+        estimation_seconds=draw(seconds),
+        publish_seconds=draw(seconds),
+    )
+
+
+@st.composite
+def publish_results(draw):
+    return PublishResult(
+        slice_name=draw(st.sampled_from(["default", "peak", "offpeak", "night"])),
+        sequence=draw(st.integers(min_value=1, max_value=10**9)),
+        cost_version=draw(st.integers(min_value=1, max_value=10**9)),
+        num_edges=draw(counts),
+        elapsed_seconds=draw(seconds),
+    )
+
+
+class TestLearningDocumentRoundTrips:
+    """The learning pipeline's documents obey the same wire contract."""
+
+    @given(fold_scores())
+    def test_fold_score(self, score):
+        assert FoldScore.from_dict(json_round_trip(score.to_dict())) == score
+
+    @given(gate_reports())
+    def test_gate_report(self, report):
+        document = json_round_trip(report.to_dict())
+        assert document["kind"] == "gate_report"
+        assert GateReport.from_dict(document) == report
+
+    @given(gate_reports())
+    def test_gate_report_improvement_is_derived_not_stored(self, report):
+        """``improvement`` rides along for readers but never feeds parsing:
+        a tampered value cannot desynchronise the reconstructed report."""
+        document = json_round_trip(report.to_dict())
+        document["improvement"] = 123.456
+        assert GateReport.from_dict(document) == report
+
+    @given(learning_stats())
+    def test_learning_stats(self, stats):
+        document = json_round_trip(stats.to_dict())
+        assert document["kind"] == "learning_stats"
+        assert LearningStats.from_dict(document) == stats
+
+    @given(learning_stats())
+    def test_learning_stats_derived_rates_match(self, stats):
+        document = json_round_trip(stats.to_dict())
+        assert document["dedup_rate"] == stats.dedup_rate
+        assert document["gate_pass_rate"] == stats.gate_pass_rate
+        assert document["mean_publish_seconds"] == stats.mean_publish_seconds
+
+    @given(publish_results())
+    def test_publish_result(self, result):
+        document = json_round_trip(result.to_dict())
+        assert document["kind"] == "publish_result"
+        assert PublishResult.from_dict(document) == result

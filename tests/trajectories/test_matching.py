@@ -132,3 +132,78 @@ class TestMatching:
         net, _, _ = world
         matcher = HmmMapMatcher(net, index=GridIndex(net, cell_size=400.0))
         assert matcher.index is not None
+
+
+class TestDegenerateInputs:
+    """Regression tests for trace shapes the feed will eventually produce.
+
+    An ingestion front cannot choose its inputs: one-fix traces (a trip
+    that lost its GPS lock immediately), traces recorded entirely off the
+    mapped network, and traces with long mid-trip gaps all arrive sooner
+    or later.  Each must either match sensibly or raise ``ValueError`` —
+    never crash, hang or return a disconnected path.
+    """
+
+    def test_single_point_trajectory_matches_one_edge(self, world):
+        from repro.trajectories import GpsPoint, GpsTrajectory
+
+        net, _, matcher = world
+        edge = net.edges[0]
+        source, target = net.vertex(edge.source), net.vertex(edge.target)
+        mid_x, mid_y = (source.x + target.x) / 2, (source.y + target.y) / 2
+        trace = GpsTrajectory(41, (GpsPoint(0.0, mid_x, mid_y),))
+        matched = matcher.match(trace)
+        # One fix carries no movement evidence: the match is the single
+        # best-emission edge with the minimum one-tick traversal.
+        assert len(matched.traversals) == 1
+        assert matched.traversals[0].travel_time >= 1
+
+    def test_all_candidates_beyond_radius_raises(self, world):
+        from repro.trajectories import GpsPoint, GpsTrajectory
+
+        net, _, matcher = world
+        # Several fixes, every one farther from the network than the
+        # candidate radius — the matcher must refuse, not guess.
+        far = 1e6
+        points = tuple(
+            GpsPoint(10.0 * i, far + 50.0 * i, far) for i in range(5)
+        )
+        trace = GpsTrajectory(42, points)
+        with pytest.raises(ValueError, match="no candidates"):
+            matcher.match(trace)
+
+    def test_stitch_bridges_a_mid_trace_gap(self, world):
+        from repro.trajectories import GpsPoint, GpsTrajectory
+
+        net, _, matcher = world
+        # Fixes only near the start and end of a multi-edge corridor: the
+        # Viterbi output skips the middle edges and ``_stitch`` must insert
+        # the shortest-path bridge so the result is a connected path.
+        route = make_route(net, 5)
+        first = net.vertex(route[0].source)
+        last = net.vertex(route[-1].target)
+        trace = GpsTrajectory(
+            43,
+            (
+                GpsPoint(0.0, first.x + 3.0, first.y),
+                GpsPoint(10.0, first.x + 40.0, first.y + 2.0),
+                GpsPoint(300.0, last.x - 40.0, last.y - 2.0),
+                GpsPoint(310.0, last.x - 3.0, last.y),
+            ),
+        )
+        matched = matcher.match(trace)
+        edges = [net.edge(eid) for eid in matched.edge_ids]
+        assert len(edges) >= 2
+        assert net.is_path(edges)
+        assert edges[0].source == route[0].source or edges[0].id == route[0].id
+
+    def test_stitch_bridges_explicitly(self, world):
+        net, _, matcher = world
+        # Two edges with no shared endpoint: the stitcher must return a
+        # connected path covering both.
+        route = make_route(net, 4)
+        stitched = matcher._stitch([route[0], route[-1]])
+        assert net.is_path(stitched)
+        assert stitched[0].id == route[0].id
+        assert stitched[-1].id == route[-1].id
+        assert len(stitched) >= 3
