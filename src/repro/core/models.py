@@ -43,6 +43,13 @@ class CostCombiner(abc.ABC):
     #: truncates search labels when this is True.
     exact_under_truncation: bool = False
 
+    #: Whether ``combine`` is exactly ``pre.convolve(edge_cost(edge))`` — a
+    #: linear convolution the columnar search core can evaluate for a whole
+    #: frontier generation as one batched kernel.  Learned combiners
+    #: transform distributions nonlinearly (classifier arbitration, estimator
+    #: output), so they must keep the scalar label-at-a-time loop.
+    vectorized_convolution: bool = False
+
     def __init__(self, costs: EdgeCostTable) -> None:
         self.costs = costs
         # One publication cell holding (version, memo) so the pair can never
@@ -89,6 +96,7 @@ class ConvolutionModel(CostCombiner):
     """The classical baseline: every intersection treated as independent."""
 
     exact_under_truncation = True
+    vectorized_convolution = True
 
     def combine(self, pre: DiscreteDistribution, edge: Edge) -> DiscreteDistribution:
         return pre.convolve(self.edge_cost(edge))

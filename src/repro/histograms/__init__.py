@@ -7,7 +7,14 @@ probabilistic budget routing.
 """
 
 from .distribution import DiscreteDistribution
-from .dominance import ParetoFrontier, dominates, non_dominated, weakly_dominates
+from .dominance import (
+    DOMINANCE_TOL,
+    ParetoFrontier,
+    cdf_dominance_matrix,
+    dominates,
+    non_dominated,
+    weakly_dominates,
+)
 from .joint import JointDistribution
 from .metrics import (
     cross_entropy,
@@ -18,18 +25,23 @@ from .metrics import (
     wasserstein,
 )
 from .operations import (
+    batched_window_convolve,
     shape_profile,
     delay_profile,
     from_delay_profile,
     mixture,
     project_onto_window,
     scale_values,
+    trim_window_rows,
 )
 
 __all__ = [
+    "DOMINANCE_TOL",
     "DiscreteDistribution",
     "JointDistribution",
     "ParetoFrontier",
+    "batched_window_convolve",
+    "cdf_dominance_matrix",
     "cross_entropy",
     "delay_profile",
     "dominates",
@@ -43,6 +55,7 @@ __all__ = [
     "scale_values",
     "shape_profile",
     "total_variation",
+    "trim_window_rows",
     "wasserstein",
     "weakly_dominates",
 ]

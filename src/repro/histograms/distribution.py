@@ -432,6 +432,29 @@ class DiscreteDistribution:
             return self
         return DiscreteDistribution(self._offset, self._probs[:max_support], normalize=True)
 
+    def window_row(self, width: int) -> np.ndarray:
+        """Dense pmf over the absolute ticks ``[0, width)``, tail folded.
+
+        Cell ``t`` holds ``P(X == t)`` for ``t < width - 1``; the last cell
+        folds all mass at ticks ``>= width - 1`` (the same
+        pessimistic-at-the-tail fold as :meth:`truncate` applied on the
+        absolute grid).  This is the row format of the columnar search core:
+        every label and edge kernel lives on one shared ``[0, width)`` grid,
+        so convolution and CDF dominance become plain matrix operations.
+        """
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        if self._offset < 0:
+            raise ValueError("window rows require non-negative tick supports")
+        out = np.zeros(width, dtype=np.float64)
+        head = width - 1 - self._offset
+        if head > 0:
+            n = min(head, self._probs.size)
+            out[self._offset : self._offset + n] = self._probs[:n]
+        total = float(self.cdf()[-1])
+        out[width - 1] = max(total - float(out[: width - 1].sum()), 0.0)
+        return out
+
     def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray | int:
         """Draw travel-time samples (ticks) via inverse-CDF lookup.
 

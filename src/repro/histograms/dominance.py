@@ -33,9 +33,58 @@ import numpy as np
 
 from .distribution import DiscreteDistribution
 
-__all__ = ["dominates", "weakly_dominates", "non_dominated", "ParetoFrontier"]
+__all__ = [
+    "DOMINANCE_TOL",
+    "cdf_dominance_matrix",
+    "dominates",
+    "weakly_dominates",
+    "non_dominated",
+    "ParetoFrontier",
+]
 
 _TOL = 1e-12
+
+#: The dominance comparison tolerance, exported for the columnar search core
+#: so its matrix screens use the exact same epsilon as :func:`weakly_dominates`
+#: and :class:`ParetoFrontier`.
+DOMINANCE_TOL = _TOL
+
+#: Upper bound on the broadcast buffer of one :func:`cdf_dominance_matrix`
+#: chunk, in float64 cells (``chunk_rows * m * width``).
+_MATRIX_CHUNK_CELLS = 1 << 22
+
+
+def cdf_dominance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise weak-dominance matrix between two blocks of CDF rows.
+
+    ``a`` is ``(n, width)`` and ``b`` is ``(m, width)``, both CDFs evaluated
+    on one shared tick grid whose last column is each distribution's plateau
+    (total mass).  Returns a boolean ``(n, m)`` matrix where ``out[i, j]`` is
+    true when row ``a[i]`` weakly dominates row ``b[j]`` — i.e.
+    ``a[i] >= b[j] - DOMINANCE_TOL`` at every grid column.  For
+    distributions whose support lies inside the grid this is exactly
+    :func:`weakly_dominates` (beyond the grid both CDFs sit at their
+    plateaus, which the last column compares).
+
+    The broadcast work is chunked over rows of ``a`` so the intermediate
+    ``(chunk, m, width)`` buffer stays small.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"expected 2-D CDF blocks on one grid, got {a.shape} and {b.shape}"
+        )
+    n, m = a.shape[0], b.shape[0]
+    out = np.empty((n, m), dtype=bool)
+    step = max(1, _MATRIX_CHUNK_CELLS // max(1, m * a.shape[1]))
+    shifted = b - _TOL
+    for start in range(0, n, step):
+        block = a[start : start + step]
+        out[start : start + step] = np.all(
+            block[:, None, :] >= shifted[None, :, :], axis=2
+        )
+    return out
 
 
 def weakly_dominates(p: DiscreteDistribution, q: DiscreteDistribution) -> bool:

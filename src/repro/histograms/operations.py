@@ -1,8 +1,9 @@
 """Compound operations on travel-time distributions.
 
 Helpers shared by the traffic simulator (mixtures over latent congestion
-states), the estimation model (projecting predictions onto bounded supports)
-and the experiment harness.
+states), the estimation model (projecting predictions onto bounded supports),
+the columnar search core (batched window convolution) and the experiment
+harness.
 """
 
 from __future__ import annotations
@@ -11,7 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .distribution import DiscreteDistribution
+from .distribution import DiscreteDistribution, _MASS_EPSILON
 
 __all__ = [
     "mixture",
@@ -20,7 +21,78 @@ __all__ = [
     "from_delay_profile",
     "delay_profile",
     "shape_profile",
+    "batched_window_convolve",
+    "trim_window_rows",
 ]
+
+
+def batched_window_convolve(
+    parents: np.ndarray,
+    kernel_offsets: np.ndarray,
+    kernel_probs: np.ndarray,
+    kernel_totals: np.ndarray,
+) -> np.ndarray:
+    """Row-wise convolution of label rows with edge kernels, folded in-window.
+
+    ``parents`` is an ``(n, width)`` block of dense pmf rows on the absolute
+    tick grid ``[0, width)`` whose last cell is the fold cell (all mass at
+    ticks ``>= width - 1``, see :meth:`DiscreteDistribution.window_row`).
+    Kernel ``i`` is the pmf ``kernel_probs[i]`` starting at tick
+    ``kernel_offsets[i]`` with total mass ``kernel_totals[i]``.  Returns the
+    ``(n, width)`` block of child rows, each the linear convolution
+    ``parent[i] * kernel[i]`` with everything at or beyond the fold cell
+    folded back into it.
+
+    The head columns (``t < width - 1``) are exact: a parent's fold cell only
+    ever contributes at or beyond the fold cell, so the fold never leaks mass
+    below the budget boundary.  The fold cell itself is reconstructed by mass
+    conservation (``total - head``), which keeps each row's sum exactly
+    ``parent_mass * kernel_mass``.
+
+    The kernel support loop runs over grid columns grouped by offset, so a
+    batch of same-offset kernels (the common case: one road category) costs
+    one strided multiply-add per support cell regardless of batch size.
+    """
+    n, width = parents.shape
+    out = np.zeros((n, width), dtype=np.float64)
+    support = kernel_probs.shape[1]
+    for off in np.unique(kernel_offsets):
+        rows = np.flatnonzero(kernel_offsets == off)
+        block = parents[rows]
+        probs = kernel_probs[rows]
+        acc = np.zeros((rows.size, width), dtype=np.float64)
+        for s in range(support):
+            t = int(off) + s
+            if t >= width - 1:
+                break
+            col = probs[:, s]
+            if not col.any():
+                continue
+            acc[:, t:] += col[:, None] * block[:, : width - t]
+        out[rows] = acc
+    totals = parents.sum(axis=1) * kernel_totals
+    head = out[:, : width - 1].sum(axis=1)
+    np.maximum(totals - head, 0.0, out=totals)
+    out[:, width - 1] = totals
+    return out
+
+
+def trim_window_rows(rows: np.ndarray) -> np.ndarray:
+    """Zero each row's leading/trailing runs of negligible mass, in place.
+
+    Mirrors the support trimming of the scalar core's
+    :meth:`DiscreteDistribution._trusted` constructor on dense window rows:
+    cells of at most ``_MASS_EPSILON`` at either end of a row's support are
+    dropped (set to exactly zero), so repeated convolutions do not accumulate
+    sub-epsilon dust that would drift the columnar core away from the scalar
+    core's probabilities.  Interior near-zero cells are kept, exactly as the
+    scalar trim keeps them.
+    """
+    small = rows <= _MASS_EPSILON
+    leading = np.logical_and.accumulate(small, axis=1)
+    trailing = np.logical_and.accumulate(small[:, ::-1], axis=1)[:, ::-1]
+    rows[leading | trailing] = 0.0
+    return rows
 
 
 def mixture(

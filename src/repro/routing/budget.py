@@ -55,6 +55,15 @@ from .query import (
 
 __all__ = ["PruningConfig"]
 
+#: Anytime deadline granularity: inside a single expansion the wall clock is
+#: re-checked every this-many *generated* labels.  Checking only per heap pop
+#: let one high-out-degree vertex (or one expensive convolution batch) blow
+#: ``time_limit_seconds`` by a whole expansion; checking every label would
+#: put a ``perf_counter`` call on the admission fast path.  At 256 the worst
+#: overrun is bounded by 256 admissions (~tens of microseconds), far below
+#: any serving deadline.
+_DEADLINE_CHECK_INTERVAL = 256
+
 
 @dataclass(frozen=True)
 class PruningConfig:
@@ -124,10 +133,35 @@ class _BudgetSearch:
         combiner: CostCombiner,
         *,
         pruning: PruningConfig | None = None,
+        backend: str = "auto",
+        landmarks: int | None = None,
+        clip_distributions: bool = True,
     ) -> None:
+        if backend not in ("auto", "scalar", "columnar"):
+            raise ValueError(
+                f"backend must be 'auto', 'scalar' or 'columnar', got {backend!r}"
+            )
+        if landmarks is not None and landmarks < 1:
+            raise ValueError("landmarks must be >= 1 when given")
         self.network = network
         self.combiner = combiner
         self.pruning = pruning or PruningConfig()
+        #: Search-core selection for single-budget ``route`` queries.
+        #: ``"scalar"`` is the label-at-a-time reference core; ``"columnar"``
+        #: forces the generation-at-a-time numpy core (raises when the
+        #: combiner cannot support it); ``"auto"`` picks columnar only on
+        #: networks large enough for the batched kernels to pay for their
+        #: setup, so small worlds (and every golden fixture) keep the scalar
+        #: core's exploration order bit for bit.
+        self.backend = backend
+        #: When set, the columnar core derives its lower bounds from a
+        #: ``k``-landmark ALT table (built once per cost-table version and
+        #: shared across *all* targets) instead of the per-target reverse
+        #: Dijkstra.  Weaker bounds, no per-target setup cost.
+        self.landmarks = landmarks
+        #: Debug knob for the clip-boundary equivalence suite: ``False``
+        #: disables `_clip` so searches run on full, unfolded distributions.
+        self.clip_distributions = clip_distributions
 
     # ------------------------------------------------------------------
     # Internals
@@ -144,13 +178,45 @@ class _BudgetSearch:
         corrupt their inputs — clipping is skipped unless the combiner
         declares ``exact_under_truncation``.
         """
-        if not self.combiner.exact_under_truncation:
+        if not self.combiner.exact_under_truncation or not self.clip_distributions:
             return dist
         max_support = budget + 2 - dist.offset
         if max_support < 1:
             # Entire support is beyond the budget; keep a single cell.
             return dist.truncate(1)
         return dist.truncate(max_support)
+
+    def _columnar_applicable(self, query: RoutingQuery) -> bool:
+        """Whether this ``route`` query should run on the columnar core.
+
+        The columnar core needs a combiner whose ``combine`` is a plain
+        convolution (``vectorized_convolution``), a bounded budget window for
+        its dense rows, unbounded frontiers (``max_frontier_size`` eviction
+        is a scalar-core policy), and clipping enabled (the dense window *is*
+        the clip).  Under ``"auto"`` it additionally requires a network large
+        enough that the batched kernels beat the scalar loop's lower setup
+        cost — which also keeps every small-world test and golden fixture on
+        the scalar core's exact exploration order.
+        """
+        from .columnar import COLUMNAR_AUTO_MIN_EDGES, COLUMNAR_MAX_WINDOW
+
+        if self.backend == "scalar":
+            return False
+        capable = (
+            getattr(self.combiner, "vectorized_convolution", False)
+            and self.pruning.max_frontier_size is None
+            and self.clip_distributions
+            and query.budget + 2 <= COLUMNAR_MAX_WINDOW
+        )
+        if self.backend == "columnar":
+            if not capable:
+                raise ValueError(
+                    "backend='columnar' requires a vectorized-convolution "
+                    "combiner, no max_frontier_size, clipping enabled, and "
+                    f"budget + 2 <= {COLUMNAR_MAX_WINDOW}"
+                )
+            return True
+        return capable and self.network.num_edges >= COLUMNAR_AUTO_MIN_EDGES
 
     # ------------------------------------------------------------------
     # Search
@@ -173,7 +239,21 @@ class _BudgetSearch:
         heuristic for the query target; by default one is taken from the
         process-wide :meth:`OptimisticHeuristic.shared` cache, so repeated
         queries to one destination pay for the reverse Dijkstra once.
+
+        Depending on :attr:`backend`, the query is answered by this scalar
+        label-at-a-time loop or by the batched generation-at-a-time core in
+        :mod:`repro.routing.columnar` (same probabilities to 2e-12; routes
+        identical up to equal-probability ties).
         """
+        if self._columnar_applicable(query):
+            from .columnar import columnar_route
+
+            return columnar_route(
+                self,
+                query,
+                time_limit_seconds=time_limit_seconds,
+                heuristic=heuristic,
+            )
         start_time = time.perf_counter()
         stats = SearchStats()
         if heuristic is None:
@@ -201,10 +281,27 @@ class _BudgetSearch:
         counter = itertools.count()
         heap: list[tuple[float, int, _Label]] = []
         heappush = heapq.heappush
+        deadline = (
+            None
+            if time_limit_seconds is None
+            else start_time + time_limit_seconds
+        )
+        expired = False
 
         def consider(label: _Label) -> None:
             """Apply admission prunings and push the label."""
+            nonlocal expired
             stats.labels_generated += 1
+            if (
+                deadline is not None
+                and stats.labels_generated % _DEADLINE_CHECK_INTERVAL == 0
+                and time.perf_counter() > deadline
+            ):
+                # Re-check the clock *inside* the expansion so one
+                # high-out-degree vertex cannot blow the anytime deadline by
+                # a whole expansion; the flag stops the enclosing edge loop.
+                expired = True
+                return
             vertex = label.vertex
             dist = label.distribution
             if use_heuristic:
@@ -235,6 +332,8 @@ class _BudgetSearch:
             heappush(heap, (-bound, next(counter), label))
 
         for edge in self.network.out_edges(query.source):
+            if expired:
+                break
             if edge.target == query.source:
                 continue
             dist = self._clip(self.combiner.edge_cost(edge), budget)
@@ -243,16 +342,16 @@ class _BudgetSearch:
         out_edges = self.network.out_edges
         combine = self.combiner.combine
         while heap:
-            if time_limit_seconds is not None and (
-                time.perf_counter() - start_time
-            ) > time_limit_seconds:
+            if expired or (
+                deadline is not None and time.perf_counter() > deadline
+            ):
                 stats.completed = False
                 break
             neg_bound, _, label = heapq.heappop(heap)
             bound = -neg_bound
             if use_pivot and bound <= pivot_probability:
                 # Best-first order: nothing left can beat the pivot.
-                stats.pruned_by_bound += 1
+                stats.bound_terminations += 1
                 break
             if label.vertex == target:
                 probability = label.distribution.prob_within(budget)
@@ -271,11 +370,15 @@ class _BudgetSearch:
                 path_vertices.add(node.vertex)
                 node = node.parent
             for edge in out_edges(label.vertex):
+                if expired:
+                    break
                 if edge.target in path_vertices:
                     continue
                 combined = self._clip(combine(label.distribution, edge), budget)
                 consider(_Label(edge.target, combined, edge, label))
 
+        if expired:
+            stats.completed = False
         stats.runtime_seconds = time.perf_counter() - start_time
         if pivot is None:
             # No complete path beat probability 0 within the budget (or the
@@ -388,6 +491,12 @@ class _BudgetSearch:
         counter = itertools.count()
         heap: list[tuple[float, int, _Label]] = []
         heappush = heapq.heappush
+        deadline = (
+            None
+            if time_limit_seconds is None
+            else start_time + time_limit_seconds
+        )
+        expired = False
 
         def improvable(dist: DiscreteDistribution, shift: int) -> bool:
             """Can any budget's answer still be beaten by this label?"""
@@ -401,7 +510,15 @@ class _BudgetSearch:
             return False
 
         def consider(label: _Label) -> None:
+            nonlocal expired
             stats.labels_generated += 1
+            if (
+                deadline is not None
+                and stats.labels_generated % _DEADLINE_CHECK_INTERVAL == 0
+                and time.perf_counter() > deadline
+            ):
+                expired = True
+                return
             vertex = label.vertex
             dist = label.distribution
             shift = 0
@@ -430,6 +547,8 @@ class _BudgetSearch:
             heappush(heap, (-bound, next(counter), label))
 
         for edge in self.network.out_edges(query.source):
+            if expired:
+                break
             if edge.target == query.source:
                 continue
             dist = self._clip(self.combiner.edge_cost(edge), max_budget)
@@ -438,9 +557,9 @@ class _BudgetSearch:
         out_edges = self.network.out_edges
         combine = self.combiner.combine
         while heap:
-            if time_limit_seconds is not None and (
-                time.perf_counter() - start_time
-            ) > time_limit_seconds:
+            if expired or (
+                deadline is not None and time.perf_counter() > deadline
+            ):
                 stats.completed = False
                 break
             neg_bound, _, label = heapq.heappop(heap)
@@ -449,7 +568,7 @@ class _BudgetSearch:
                 # Best-first on the max-budget bound: every remaining label's
                 # bound at budget i is <= this bound <= min(pivots), so no
                 # budget's answer can improve.
-                stats.pruned_by_bound += 1
+                stats.bound_terminations += 1
                 break
             if label.vertex == target:
                 dist = label.distribution
@@ -480,11 +599,15 @@ class _BudgetSearch:
                 path_vertices.add(node.vertex)
                 node = node.parent
             for edge in out_edges(label.vertex):
+                if expired:
+                    break
                 if edge.target in path_vertices:
                     continue
                 combined = self._clip(combine(label.distribution, edge), max_budget)
                 consider(_Label(edge.target, combined, edge, label))
 
+        if expired:
+            stats.completed = False
         stats.runtime_seconds = time.perf_counter() - start_time
         fallback: tuple[tuple[Edge, ...], DiscreteDistribution] | None = None
         if any(item is None for item in best):
@@ -533,6 +656,14 @@ class _BudgetSearch:
         whose arrival distribution is dominated offers no budget at which it
         would be the better choice, mirroring the interior dominance pruning.
 
+        Unlike :meth:`route`, this search runs on *unclipped* distributions:
+        folding mass beyond the budget is exact for the single-budget
+        objective, but dominance on folded distributions only compares CDFs
+        inside the window — a strictly stronger relation that would evict
+        antichain members which are merely better *beyond* the queried
+        budget, returning a different route set than the unclipped search
+        (see tests/routing/test_clip_boundary.py).
+
         With ``k == 1`` the answer's single route carries the same maximal
         probability as :meth:`route`.
         """
@@ -574,9 +705,23 @@ class _BudgetSearch:
         counter = itertools.count()
         heap: list[tuple[float, int, _Label]] = []
         heappush = heapq.heappush
+        deadline = (
+            None
+            if time_limit_seconds is None
+            else start_time + time_limit_seconds
+        )
+        expired = False
 
         def consider(label: _Label) -> None:
+            nonlocal expired
             stats.labels_generated += 1
+            if (
+                deadline is not None
+                and stats.labels_generated % _DEADLINE_CHECK_INTERVAL == 0
+                and time.perf_counter() > deadline
+            ):
+                expired = True
+                return
             vertex = label.vertex
             dist = label.distribution
             if use_heuristic:
@@ -607,24 +752,25 @@ class _BudgetSearch:
             heappush(heap, (-bound, next(counter), label))
 
         for edge in self.network.out_edges(query.source):
+            if expired:
+                break
             if edge.target == query.source:
                 continue
-            dist = self._clip(self.combiner.edge_cost(edge), budget)
-            consider(_Label(edge.target, dist, edge, None))
+            consider(_Label(edge.target, self.combiner.edge_cost(edge), edge, None))
 
         out_edges = self.network.out_edges
         combine = self.combiner.combine
         while heap:
-            if time_limit_seconds is not None and (
-                time.perf_counter() - start_time
-            ) > time_limit_seconds:
+            if expired or (
+                deadline is not None and time.perf_counter() > deadline
+            ):
                 stats.completed = False
                 break
             neg_bound, _, label = heapq.heappop(heap)
             bound = -neg_bound
             if use_pivot and bound <= threshold:
                 # Best-first order: nothing left can crack the top k.
-                stats.pruned_by_bound += 1
+                stats.bound_terminations += 1
                 break
             if label.vertex == target:
                 dist = label.distribution
@@ -651,11 +797,15 @@ class _BudgetSearch:
                 path_vertices.add(node.vertex)
                 node = node.parent
             for edge in out_edges(label.vertex):
+                if expired:
+                    break
                 if edge.target in path_vertices:
                     continue
-                combined = self._clip(combine(label.distribution, edge), budget)
+                combined = combine(label.distribution, edge)
                 consider(_Label(edge.target, combined, edge, label))
 
+        if expired:
+            stats.completed = False
         stats.runtime_seconds = time.perf_counter() - start_time
         if not candidates:
             # Mirror :meth:`route`: always give the caller a route when one

@@ -1,0 +1,884 @@
+"""Columnar generation-at-a-time PBR search core.
+
+The scalar core in :mod:`repro.routing.budget` pops one label at a time from
+a best-first heap; every convolution, CDF read and dominance check is a
+separate Python call.  This module answers the same single-budget ``route``
+query by expanding **whole frontier generations at once**:
+
+* every label is a dense pmf row on the absolute tick grid ``[0, W)`` with
+  ``W = budget + 2`` — the window *is* the scalar core's ``_clip`` (head
+  ticks exact, all mass at or beyond ``budget + 1`` folded into the last
+  cell);
+* a generation's children are produced by one batched shift-convolution of
+  the parent block against the per-edge kernel block
+  (:func:`repro.histograms.operations.batched_window_convolve`), chunked to
+  bound peak memory;
+* bound/pivot screening is a matrix CDF read; stochastic dominance against
+  resident frontier rows is a matrix comparison
+  (:func:`repro.histograms.dominance.cdf_dominance_matrix`) that replicates
+  :class:`~repro.histograms.ParetoFrontier.add` semantics sequentially per
+  vertex group;
+* labels live in an arena of parallel numpy arrays (vertex, parent index,
+  edge id) instead of Python ``_Label`` chains — only the current
+  generation's pmf rows are kept;
+* the simple-path check is a lockstep vectorized walk up the parent chains;
+* lower bounds come from the exact per-target
+  :class:`~repro.routing.heuristics.OptimisticHeuristic` or, when the search
+  was built with ``landmarks=k``, from a
+  :class:`~repro.routing.landmarks.LandmarkTable` computed once per
+  cost-table version and shared across **all** targets.
+
+Because every pruning it applies is sound and it runs to exhaustion, the
+columnar core returns the same maximal probability as the scalar core (to
+float accumulation order, < 2e-12) and the same route up to
+equal-probability ties; `tests/routing/test_columnar_parity.py` locks this
+over random worlds for every pruning combination.
+
+The generation order differs from the scalar core's best-first order in one
+beneficial way: a generation's target arrivals raise the pivot *before* its
+interior labels are screened, so the columnar core prunes at least as hard
+as the scalar core for the same pivot state.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from ..histograms import DiscreteDistribution
+from ..histograms.dominance import DOMINANCE_TOL
+from ..histograms.operations import batched_window_convolve, trim_window_rows
+from .heuristics import OptimisticHeuristic
+from .query import RoutingQuery, RoutingResult, SearchStats
+
+__all__ = [
+    "columnar_route",
+    "COLUMNAR_AUTO_MIN_EDGES",
+    "COLUMNAR_MAX_WINDOW",
+]
+
+#: Under ``backend="auto"`` the columnar core only takes over on networks at
+#: least this large; below it the scalar core's lower setup cost wins and —
+#: just as importantly — every small-world test and golden fixture keeps the
+#: scalar core's exact exploration order.
+COLUMNAR_AUTO_MIN_EDGES = 2000
+
+#: Upper bound on the dense window width ``budget + 2``.  Beyond this the
+#: per-label rows stop fitting caches and the scalar core's sparse
+#: distributions are the better representation.
+COLUMNAR_MAX_WINDOW = 4096
+
+#: Peak bytes for one expansion chunk's row block; the chunk row count is
+#: derived from the window width.
+_CHUNK_BYTES = 32 << 20
+
+#: Best-bound labels dived per generation (see the incumbent-diving block
+#: in :func:`columnar_route`).  Each dive costs one dot product plus any
+#: not-yet-memoised suffix convolutions along its descent; a handful per
+#: generation is enough to chase the scalar core's pivot trajectory.
+_DIVES_PER_GENERATION = 4
+
+#: Entries kept in the module-level CSR / kernel caches.  Keys embed object
+#: ids, so values hold strong references to keep those ids stable.
+_CACHE_SIZE = 4
+
+_CSR_CACHE: "OrderedDict[tuple[int, int], _Csr]" = OrderedDict()
+_KERNEL_CACHE: "OrderedDict[tuple[int, int, int, int], _EdgeKernels]" = OrderedDict()
+
+
+class _Csr:
+    """Compressed out-adjacency over a dense vertex indexing.
+
+    Vertices are indexed by ascending vertex id; per-vertex edge runs keep
+    the network's ``out_edges`` order so the columnar core generates children
+    in the same per-vertex order as the scalar loop.
+    """
+
+    __slots__ = (
+        "network",
+        "order",
+        "index_of",
+        "indptr",
+        "edge_ids",
+        "edge_target",
+        "num_vertices",
+    )
+
+    def __init__(self, network) -> None:
+        self.network = network
+        order = sorted(network.vertex_ids())
+        self.order = order
+        self.index_of = {v: i for i, v in enumerate(order)}
+        num = len(order)
+        self.num_vertices = num
+        indptr = np.zeros(num + 1, dtype=np.int64)
+        edge_ids: list[int] = []
+        edge_target: list[int] = []
+        for i, vertex in enumerate(order):
+            out = network.out_edges(vertex)
+            indptr[i + 1] = indptr[i] + len(out)
+            for edge in out:
+                edge_ids.append(edge.id)
+                edge_target.append(self.index_of[edge.target])
+        self.indptr = indptr
+        self.edge_ids = np.asarray(edge_ids, dtype=np.int64)
+        self.edge_target = np.asarray(edge_target, dtype=np.int64)
+
+
+class _EdgeKernels:
+    """All edge cost pmfs as one (offsets, probs, totals) block, by edge id."""
+
+    __slots__ = ("network", "costs", "offsets", "probs", "totals", "min_ticks")
+
+    def __init__(self, network, combiner) -> None:
+        self.network = network
+        self.costs = combiner.costs
+        dists = [combiner.edge_cost(edge) for edge in network.edges]
+        support = max((d.support_size for d in dists), default=1)
+        count = len(dists)
+        self.offsets = np.fromiter(
+            (d.offset for d in dists), dtype=np.int64, count=count
+        )
+        self.probs = np.zeros((count, support), dtype=np.float64)
+        self.totals = np.empty(count, dtype=np.float64)
+        for i, dist in enumerate(dists):
+            self.probs[i, : dist.support_size] = dist.probs
+            self.totals[i] = float(dist.cdf()[-1])
+        #: Minimum possible ticks per edge — the weight the lower-bound
+        #: tables are built on.
+        self.min_ticks = self.offsets + np.argmax(self.probs > 0.0, axis=1)
+
+
+def _cache_get(cache: OrderedDict, key, build):
+    entry = cache.get(key)
+    if entry is None:
+        entry = build()
+        cache[key] = entry
+        while len(cache) > _CACHE_SIZE:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return entry
+
+
+def _csr_for(network) -> _Csr:
+    key = (id(network), getattr(network, "version", 0))
+    return _cache_get(_CSR_CACHE, key, lambda: _Csr(network))
+
+
+def _kernels_for(network, combiner) -> _EdgeKernels:
+    costs = combiner.costs
+    key = (
+        id(network),
+        getattr(network, "version", 0),
+        id(costs),
+        getattr(costs, "version", 0),
+    )
+    return _cache_get(_KERNEL_CACHE, key, lambda: _EdgeKernels(network, combiner))
+
+
+def _dense_bounds(heuristic: OptimisticHeuristic, csr: _Csr) -> np.ndarray:
+    """The heuristic table as a dense vector (inf = cannot reach target)."""
+    cached = getattr(heuristic, "_columnar_bounds", None)
+    if cached is not None and cached[0] is csr:
+        return cached[1]
+    bounds = np.full(csr.num_vertices, np.inf)
+    index_of = csr.index_of
+    for vertex, remaining in heuristic.table.items():
+        i = index_of.get(vertex)
+        if i is not None:
+            bounds[i] = remaining
+    bounds.flags.writeable = False
+    heuristic._columnar_bounds = (csr, bounds)
+    return bounds
+
+
+class _LabelArena:
+    """Parallel (vertex, parent, edge) arrays with amortised doubling."""
+
+    __slots__ = ("vertex", "parent", "edge", "count")
+
+    def __init__(self) -> None:
+        cap = 1024
+        self.vertex = np.empty(cap, dtype=np.int64)
+        self.parent = np.empty(cap, dtype=np.int64)
+        self.edge = np.empty(cap, dtype=np.int64)
+        self.count = 0
+
+    def append(
+        self, vertices: np.ndarray, parents: np.ndarray, edges: np.ndarray
+    ) -> np.ndarray:
+        n = vertices.size
+        need = self.count + n
+        cap = self.vertex.size
+        if need > cap:
+            while cap < need:
+                cap *= 2
+            for name in ("vertex", "parent", "edge"):
+                old = getattr(self, name)
+                grown = np.empty(cap, dtype=np.int64)
+                grown[: self.count] = old[: self.count]
+                setattr(self, name, grown)
+        ids = np.arange(self.count, need, dtype=np.int64)
+        self.vertex[self.count : need] = vertices
+        self.parent[self.count : need] = parents
+        self.edge[self.count : need] = edges
+        self.count = need
+        return ids
+
+
+class _FrontierStore:
+    """Resident Pareto-frontier CDF rows for every vertex, in one matrix.
+
+    Rows are allocated from a free list (evicted rows are reused), so live
+    memory tracks the frontier size — the sum of per-vertex antichain sizes —
+    rather than every label ever admitted.
+    """
+
+    __slots__ = ("matrix", "_free", "by_vertex")
+
+    def __init__(self, width: int) -> None:
+        cap = 256
+        self.matrix = np.empty((cap, width), dtype=np.float64)
+        self._free = list(range(cap - 1, -1, -1))
+        self.by_vertex: dict[int, list[int]] = {}
+
+    def _alloc(self) -> int:
+        if not self._free:
+            cap = self.matrix.shape[0]
+            grown = np.empty((cap * 2, self.matrix.shape[1]), dtype=np.float64)
+            grown[:cap] = self.matrix
+            self.matrix = grown
+            self._free = list(range(cap * 2 - 1, cap - 1, -1))
+        return self._free.pop()
+
+    def insert(self, vertex: int, row: np.ndarray) -> int:
+        i = self._alloc()
+        self.matrix[i] = row
+        self.by_vertex.setdefault(vertex, []).append(i)
+        return i
+
+    def evict(self, vertex: int, rows: list[int]) -> None:
+        live = self.by_vertex[vertex]
+        for i in rows:
+            live.remove(i)
+            self._free.append(i)
+
+
+def _admit_group(
+    store: _FrontierStore, vertex: int, cand_cdf: np.ndarray, lo: int = 0
+) -> np.ndarray:
+    """Sequentially admit one vertex's candidates, ParetoFrontier-style.
+
+    Replays :meth:`ParetoFrontier.add` for each candidate in order using
+    precomputed pairwise dominance matrices: a candidate is rejected when a
+    *live* resident (or an earlier-kept candidate still in the frontier)
+    weakly dominates it, and an admitted candidate evicts every resident it
+    weakly dominates.  Returns the admitted mask; an admitted-then-evicted
+    candidate stays admitted (it was already queued for expansion — exactly
+    the scalar core's behaviour, where eviction never reaches the heap).
+
+    ``lo`` is a caller-supplied column such that every candidate CDF is
+    exactly zero on ``[0, lo)`` (the group's earliest support tick).  The
+    pairwise broadcasts then compare only ``[lo:]``: below ``lo`` any row
+    trivially dominates a zero CDF, and the one direction that is *not*
+    trivial — a candidate dominating a resident with earlier support — is
+    restored exactly by requiring the resident's CDF at ``lo - 1`` to be
+    within tolerance of zero.  Mid-search generations sit deep in the
+    window, so this typically halves the dominance compare work.
+    """
+    resident_rows = store.by_vertex.get(vertex) or []
+    count = cand_cdf.shape[0]
+    num_res = len(resident_rows)
+    admitted = np.zeros(count, dtype=bool)
+    if count == 1:
+        # Fast path for the overwhelmingly common one-candidate group: the
+        # same reject/evict/insert sequence without pairwise matrices.
+        row = cand_cdf[0]
+        if resident_rows:
+            resident = store.matrix[resident_rows]
+            if (resident[:, lo:] >= row[lo:] - DOMINANCE_TOL).all(axis=1).any():
+                return admitted
+            dominated = (row[lo:] >= resident[:, lo:] - DOMINANCE_TOL).all(axis=1)
+            if lo > 0:
+                dominated &= resident[:, lo - 1] <= DOMINANCE_TOL
+            if dominated.any():
+                store.evict(
+                    vertex,
+                    [r for r, d in zip(resident_rows, dominated) if d],
+                )
+        store.insert(vertex, row)
+        admitted[0] = True
+        return admitted
+    # Equal-probability path enumerations (ubiquitous on grids) make many
+    # candidates bitwise-identical rows; the pairwise matrices only need the
+    # distinct ones.  The replay below walks candidates in original order
+    # through a uid indirection, which reproduces the sequential semantics
+    # exactly: the first copy of a row decides, an admitted copy's diagonal
+    # self-dominance then rejects every later copy (as the scalar frontier
+    # would), and a copy of a rejected row automatically re-tests the *live*
+    # state, so intervening evictions behave identically too.
+    uid_of: dict[bytes, int] = {}
+    inverse = np.empty(count, dtype=np.int64)
+    firsts: list[int] = []
+    for j in range(count):
+        key = cand_cdf[j].tobytes()
+        u = uid_of.get(key)
+        if u is None:
+            u = len(firsts)
+            uid_of[key] = u
+            firsts.append(j)
+        inverse[j] = u
+    num_uniq = len(firsts)
+    uniq_cdf = cand_cdf[firsts] if num_uniq < count else cand_cdf
+    # One all-pairs broadcast over [residents; unique candidates] replaces
+    # three separate matrix calls — per-call numpy overhead dominates at
+    # search group sizes.
+    if resident_rows:
+        block = np.vstack((store.matrix[resident_rows], uniq_cdf))
+    else:
+        block = uniq_cdf
+    sliced = block[:, lo:]
+    pairwise = (sliced[:, None, :] >= (sliced - DOMINANCE_TOL)[None, :, :]).all(
+        axis=2
+    )
+    res_dominates = pairwise[:num_res, num_res:]
+    cand_dominates = pairwise[num_res:, :num_res]
+    if lo > 0 and num_res:
+        # Below ``lo`` candidates are zero while residents may not be: a
+        # candidate only dominates a resident whose early mass is ~zero too.
+        cand_dominates = cand_dominates & (
+            block[:num_res, lo - 1] <= DOMINANCE_TOL
+        )
+    cand_cross = pairwise[num_res:, num_res:]
+    res_alive = np.ones(num_res, dtype=bool)
+    kept_front: list[int] = []
+    # Event-driven replay: per-candidate rejection tests are O(1) lookups in
+    # two running "dominated by a live resident / front member" vectors,
+    # updated vectorially only when the frontier actually changes (an
+    # admission ORs one row in; an eviction recomputes from the survivors).
+    # Exact same sequential semantics as testing against the live sets.
+    res_dom_any = (
+        res_dominates.any(axis=0)
+        if num_res
+        else np.zeros(num_uniq, dtype=bool)
+    )
+    front_dom_any = np.zeros(num_uniq, dtype=bool)
+    for j in range(count):
+        u = int(inverse[j])
+        if res_dom_any[u] or front_dom_any[u]:
+            continue
+        if num_res:
+            hits = cand_dominates[u] & res_alive
+            if hits.any():
+                res_alive &= ~hits
+                res_dom_any = res_dominates[res_alive].any(axis=0)
+        if kept_front:
+            kept = ~cand_cross[u, kept_front]
+            if not kept.all():
+                kept_front = [i for i, k in zip(kept_front, kept) if k]
+                front_dom_any = (
+                    cand_cross[kept_front].any(axis=0)
+                    if kept_front
+                    else np.zeros(num_uniq, dtype=bool)
+                )
+        front_dom_any |= cand_cross[u]
+        kept_front.append(u)
+        admitted[j] = True
+    if not res_alive.all():
+        store.evict(
+            vertex,
+            [r for r, alive in zip(resident_rows, res_alive) if not alive],
+        )
+    for u in kept_front:
+        store.insert(vertex, uniq_cdf[u])
+    return admitted
+
+
+def columnar_route(
+    search,
+    query: RoutingQuery,
+    *,
+    time_limit_seconds: float | None = None,
+    heuristic: OptimisticHeuristic | None = None,
+) -> RoutingResult:
+    """Answer one ``route`` query with the generation-at-a-time core.
+
+    ``search`` is the owning :class:`~repro.routing.budget._BudgetSearch`;
+    dispatch (combiner capability, backend selection, window bounds) already
+    happened in ``_BudgetSearch.route``.
+    """
+    start_time = time.perf_counter()
+    stats = SearchStats()
+    network = search.network
+    combiner = search.combiner
+    pruning = search.pruning
+    budget = query.budget
+    width = budget + 2
+
+    csr = _csr_for(network)
+    kernels = _kernels_for(network, combiner)
+    source_i = csr.index_of[query.source]
+    target_i = csr.index_of[query.target]
+
+    if search.landmarks:
+        from .landmarks import LandmarkTable
+
+        table = LandmarkTable.shared(
+            network, combiner.costs, k=search.landmarks
+        )
+        bounds = table.bounds_to(query.target)
+    else:
+        if heuristic is None:
+            heuristic = OptimisticHeuristic.shared(
+                network, combiner.costs, query.target
+            )
+        bounds = _dense_bounds(heuristic, csr)
+
+    if not np.isfinite(bounds[source_i]):
+        # Provably unreachable (exact heuristic: not settled by the reverse
+        # Dijkstra; landmarks: a triangle-inequality unreachability proof).
+        stats.completed = True
+        stats.runtime_seconds = time.perf_counter() - start_time
+        return RoutingResult(query, (), None, 0.0, stats)
+
+    use_heuristic = pruning.use_heuristic
+    use_pivot = pruning.use_pivot
+    use_cost_shifting = pruning.use_cost_shifting
+    use_dominance = pruning.use_dominance
+    reachable = np.isfinite(bounds)
+    shift = np.where(reachable, bounds, 0.0).astype(np.int64)
+
+    deadline = (
+        None if time_limit_seconds is None else start_time + time_limit_seconds
+    )
+    expired = False
+
+    arena = _LabelArena()
+    store = _FrontierStore(width) if use_dominance else None
+
+    pivot_probability = -1.0
+    pivot_parent = -1
+    pivot_edge = -1
+    pivot_row: np.ndarray | None = None
+    pivot_pruned_in_gen = False
+
+    # ------------------------------------------------------------------
+    # Incumbent seeding and diving (branch and bound).  The scalar
+    # best-first loop establishes a pivot within a few pops by diving
+    # toward the target; a breadth-first generation sweep would otherwise
+    # run pivot-less until the target's generation, admitting every detour
+    # along the way.  With the exact per-target heuristic the descent
+    # successor of any vertex — an out-edge on a min-tick shortest-path
+    # tree, ``h(v) == min_ticks(e) + h(w)`` (exact: tick weights are
+    # integers, integer-sum float64 arithmetic is exact) — can be read
+    # straight off the bound table, so:
+    #
+    # * the *seed* incumbent is the source's full descent path, a real
+    #   optimistically-fastest route, screened against from generation 1;
+    # * once per generation the best-bound label is *dived*: completed to
+    #   the target along the descent and scored exactly via a dot product
+    #   with the memoised suffix tail, raising the incumbent toward the
+    #   optimum long before any arrival.
+    #
+    # Both are sound — the screen only ever discards labels that provably
+    # cannot beat a real simple path (dives are rejected if the descent
+    # revisits the label's prefix) — and when no arrival strictly beats
+    # the incumbent, the result construction below returns the dive path
+    # itself: the scalar core's answer, up to equal-probability ties.
+    # ------------------------------------------------------------------
+    dive_exact = not search.landmarks
+    min_ticks = kernels.min_ticks
+    target_row = np.zeros(width)
+    target_row[0] = 1.0
+    #: v -> window pmf row of the descent-suffix cost v -> target, or None
+    #: when the descent stalls (zero-tick cycle / no qualifying edge).
+    suffix_rows: dict[int, np.ndarray | None] = {target_i: target_row}
+    #: v -> (edge id, next vertex) along the descent; filled with rows.
+    suffix_next: dict[int, tuple[int, int]] = {}
+    #: v -> tail vector T with T[t] = P(suffix <= budget - t), or None.
+    suffix_tails: dict[int, np.ndarray | None] = {}
+    pivot_dive_parent = -1
+    pivot_dive_vertex = -1
+
+    def suffix_row_for(v: int) -> np.ndarray | None:
+        """Window pmf of the descent suffix from ``v``, memoised."""
+        chain: list[tuple[int, int, int]] = []
+        u = v
+        while u not in suffix_rows:
+            hu = bounds[u]
+            nxt = -1
+            for k in range(int(csr.indptr[u]), int(csr.indptr[u + 1])):
+                e = int(csr.edge_ids[k])
+                w = int(csr.edge_target[k])
+                if bounds[w] + min_ticks[e] == hu:
+                    nxt = k
+                    break
+            if nxt < 0 or len(chain) > csr.num_vertices:
+                suffix_rows[u] = None
+                break
+            e = int(csr.edge_ids[nxt])
+            w = int(csr.edge_target[nxt])
+            chain.append((u, e, w))
+            u = w
+        # Resolve the chain bottom-up: each vertex's suffix is its descent
+        # edge's kernel convolved with the successor's suffix row.
+        for u, e, w in reversed(chain):
+            succ = suffix_rows[w]
+            if succ is None:
+                suffix_rows[u] = None
+                continue
+            row = batched_window_convolve(
+                succ[None, :],
+                kernels.offsets[e : e + 1],
+                kernels.probs[e : e + 1],
+                kernels.totals[e : e + 1],
+            )
+            trim_window_rows(row)
+            suffix_rows[u] = row[0]
+            suffix_next[u] = (e, w)
+        return suffix_rows.get(v)
+
+    def tail_for(v: int) -> np.ndarray | None:
+        """T[t] = P(descent suffix from ``v`` <= budget - t), memoised."""
+        tail = suffix_tails.get(v, False)
+        if tail is not False:
+            return tail
+        row = suffix_row_for(v)
+        if row is None:
+            suffix_tails[v] = None
+            return None
+        head_cdf = np.cumsum(row[: width - 1])
+        tail = np.zeros(width)
+        tail[: budget + 1] = head_cdf[budget::-1]
+        suffix_tails[v] = tail
+        return tail
+
+    def dive_is_simple(label_id: int, v: int) -> bool:
+        """Does the descent from ``v`` avoid the label's prefix vertices?"""
+        prefix = {source_i}
+        cursor = label_id
+        while cursor >= 0:
+            prefix.add(int(arena.vertex[cursor]))
+            cursor = int(arena.parent[cursor])
+        u = v
+        while u != target_i:
+            nxt = suffix_next.get(u)
+            if nxt is None:
+                return False
+            u = nxt[1]
+            if u in prefix:
+                return False
+        return True
+
+    if dive_exact and source_i != target_i:
+        tail = tail_for(source_i)
+        if tail is not None:
+            # Seed: P(full descent path <= budget) — tail at zero elapsed.
+            pivot_probability = float(tail[0])
+            pivot_dive_parent = -1
+            pivot_dive_vertex = source_i
+
+    def process_candidates(
+        rows: np.ndarray,
+        vertices: np.ndarray,
+        parents: np.ndarray,
+        edges: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Screen one candidate block; returns admitted (rows, vertices,
+        ids, bounds).
+
+        Mirrors the scalar ``consider`` pruning order — unreachable, bound,
+        pivot, dominance — with target arrivals folded into the pivot before
+        interior labels are screened against it.
+        """
+        nonlocal pivot_probability, pivot_parent, pivot_edge, pivot_row
+        nonlocal pivot_pruned_in_gen, pivot_dive_parent, pivot_dive_vertex
+        n = rows.shape[0]
+        stats.labels_generated += n
+        cdf = np.cumsum(rows, axis=1)
+        alive = np.ones(n, dtype=bool)
+        if use_heuristic:
+            unreachable = ~reachable[vertices]
+            stats.pruned_unreachable += int(unreachable.sum())
+            alive &= ~unreachable
+            if use_cost_shifting:
+                bound_col = budget - shift[vertices]
+            else:
+                bound_col = np.full(n, budget, dtype=np.int64)
+        else:
+            bound_col = np.full(n, budget, dtype=np.int64)
+        bound = np.zeros(n, dtype=np.float64)
+        in_window = alive & (bound_col >= 0)
+        idx = np.flatnonzero(in_window)
+        bound[idx] = cdf[idx, bound_col[idx]]
+        fails = alive & (bound <= 0.0)
+        stats.pruned_by_bound += int(fails.sum())
+        alive &= ~fails
+        # Target arrivals: fold into the pivot (descending probability, so
+        # pivot_updates counts strict improvements like the scalar pops do),
+        # then screen the generation's interior labels against the raised
+        # pivot — sound, and at least as much pruning as the scalar order.
+        at_target = vertices == target_i
+        arrivals = np.flatnonzero(alive & at_target)
+        if arrivals.size:
+            probs = cdf[arrivals, budget]
+            for j in arrivals[np.argsort(-probs, kind="stable")]:
+                p = float(cdf[j, budget])
+                if p > pivot_probability:
+                    pivot_probability = p
+                    pivot_parent = int(parents[j])
+                    pivot_edge = int(edges[j])
+                    pivot_row = rows[j].copy()
+                    pivot_dive_parent = -1
+                    pivot_dive_vertex = -1
+                    stats.pivot_updates += 1
+                elif use_pivot:
+                    stats.pruned_by_bound += 1
+            alive &= ~at_target
+        if use_pivot:
+            fails = alive & (bound <= pivot_probability)
+            pruned = int(fails.sum())
+            if pruned:
+                stats.pruned_by_bound += pruned
+                pivot_pruned_in_gen = True
+                alive &= ~fails
+        if use_dominance and alive.any():
+            idx = np.flatnonzero(alive)
+            group_order = np.argsort(vertices[idx], kind="stable")
+            ordered = idx[group_order]
+            ordered_vertices = vertices[ordered]
+            # Column where each row's support starts: dominance compares can
+            # skip the all-zero CDF prefix shared by a group (see
+            # _admit_group's ``lo``).
+            first_nz = np.argmax(rows > 0.0, axis=1)
+            cut = np.flatnonzero(
+                np.diff(ordered_vertices, prepend=ordered_vertices[0] - 1)
+            )
+            for g, start in enumerate(cut):
+                end = cut[g + 1] if g + 1 < cut.size else ordered.size
+                members = ordered[start:end]
+                kept = _admit_group(
+                    store,
+                    int(ordered_vertices[start]),
+                    cdf[members],
+                    int(first_nz[members].min()),
+                )
+                rejected = members[~kept]
+                stats.pruned_by_dominance += int(rejected.size)
+                alive[rejected] = False
+        sel = np.flatnonzero(alive)
+        ids = arena.append(vertices[sel], parents[sel], edges[sel])
+        return rows[sel], vertices[sel], ids, bound[sel]
+
+    # ------------------------------------------------------------------
+    # Seed generation: the source's out-edges.
+    # ------------------------------------------------------------------
+    s0, s1 = int(csr.indptr[source_i]), int(csr.indptr[source_i + 1])
+    seed_edges = csr.edge_ids[s0:s1]
+    seed_vertices = csr.edge_target[s0:s1]
+    if seed_edges.size:
+        seed_rows = np.stack(
+            [
+                combiner.edge_cost(network.edge(int(e))).window_row(width)
+                for e in seed_edges
+            ]
+        )
+        trim_window_rows(seed_rows)
+        gen_rows, gen_vertices, gen_ids, gen_bounds = process_candidates(
+            seed_rows,
+            seed_vertices,
+            np.full(seed_edges.size, -1, dtype=np.int64),
+            seed_edges,
+        )
+    else:
+        gen_rows = np.zeros((0, width))
+        gen_vertices = np.zeros(0, dtype=np.int64)
+        gen_ids = np.zeros(0, dtype=np.int64)
+        gen_bounds = np.zeros(0)
+
+    chunk_rows = max(256, _CHUNK_BYTES // (width * 8))
+    indptr = csr.indptr
+
+    # ------------------------------------------------------------------
+    # Generation loop.
+    # ------------------------------------------------------------------
+    while gen_ids.size:
+        if deadline is not None and time.perf_counter() > deadline:
+            expired = True
+            break
+        if dive_exact and use_pivot:
+            # Dive: complete the generation's best-bound label to the target
+            # along the min-tick descent and score the resulting real path
+            # exactly (dot of the label row against the memoised suffix
+            # tail).  A successful dive raises the incumbent, which then
+            # re-screens this very generation before its expensive
+            # expansion — the columnar analogue of the scalar core's
+            # best-first pivot chase.
+            num_dives = min(_DIVES_PER_GENERATION, int(gen_bounds.size))
+            top = np.argpartition(gen_bounds, -num_dives)[-num_dives:]
+            for j in top[np.argsort(-gen_bounds[top], kind="stable")]:
+                if gen_bounds[j] <= pivot_probability:
+                    break
+                v = int(gen_vertices[j])
+                tail = tail_for(v)
+                if tail is None:
+                    continue
+                p = float(np.dot(gen_rows[j], tail))
+                if p > pivot_probability and dive_is_simple(
+                    int(gen_ids[j]), v
+                ):
+                    pivot_probability = p
+                    pivot_dive_parent = int(gen_ids[j])
+                    pivot_dive_vertex = v
+                    pivot_row = None
+                    stats.pivot_updates += 1
+            keep = gen_bounds > pivot_probability
+            if not keep.all():
+                stats.pruned_by_bound += int((~keep).sum())
+                gen_rows = gen_rows[keep]
+                gen_vertices = gen_vertices[keep]
+                gen_ids = gen_ids[keep]
+                gen_bounds = gen_bounds[keep]
+                if not gen_ids.size:
+                    # The raised incumbent emptied the frontier: provably
+                    # done, matching the scalar best-first early exit.
+                    stats.bound_terminations += 1
+                    break
+        pivot_pruned_in_gen = False
+        stats.labels_expanded += int(gen_ids.size)
+        starts = indptr[gen_vertices]
+        counts = indptr[gen_vertices + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        parent_pos = np.repeat(
+            np.arange(gen_vertices.size, dtype=np.int64), counts
+        )
+        run_starts = np.cumsum(counts) - counts
+        edge_pos = (
+            np.repeat(starts, counts)
+            + np.arange(total, dtype=np.int64)
+            - np.repeat(run_starts, counts)
+        )
+        child_edges = csr.edge_ids[edge_pos]
+        child_vertices = csr.edge_target[edge_pos]
+
+        next_rows: list[np.ndarray] = []
+        next_vertices: list[np.ndarray] = []
+        next_ids: list[np.ndarray] = []
+        next_bounds: list[np.ndarray] = []
+        for lo in range(0, total, chunk_rows):
+            if deadline is not None and time.perf_counter() > deadline:
+                expired = True
+                break
+            hi = min(lo + chunk_rows, total)
+            c_vertices = child_vertices[lo:hi]
+            c_edges = child_edges[lo:hi]
+            c_parent_pos = parent_pos[lo:hi]
+            c_parent_ids = gen_ids[c_parent_pos]
+            # Simple-path constraint: lockstep walk up the parent chains.
+            conflict = c_vertices == source_i
+            cursor = c_parent_ids.copy()
+            while True:
+                active = np.flatnonzero((cursor >= 0) & ~conflict)
+                if active.size == 0:
+                    break
+                at = cursor[active]
+                conflict[active] |= arena.vertex[at] == c_vertices[active]
+                cursor[active] = arena.parent[at]
+            keep = np.flatnonzero(~conflict)
+            if keep.size == 0:
+                continue
+            parent_rows = gen_rows[c_parent_pos[keep]]
+            kept_edges = c_edges[keep]
+            child_block = batched_window_convolve(
+                parent_rows,
+                kernels.offsets[kept_edges],
+                kernels.probs[kept_edges],
+                kernels.totals[kept_edges],
+            )
+            trim_window_rows(child_block)
+            admitted = process_candidates(
+                child_block,
+                c_vertices[keep],
+                c_parent_ids[keep],
+                kept_edges,
+            )
+            if admitted[2].size:
+                next_rows.append(admitted[0])
+                next_vertices.append(admitted[1])
+                next_ids.append(admitted[2])
+                next_bounds.append(admitted[3])
+        if expired:
+            break
+        if next_ids:
+            gen_rows = np.concatenate(next_rows)
+            gen_vertices = np.concatenate(next_vertices)
+            gen_ids = np.concatenate(next_ids)
+            gen_bounds = np.concatenate(next_bounds)
+        else:
+            if use_pivot and pivot_pruned_in_gen:
+                # The pivot screen emptied the remaining frontier: the search
+                # is provably done, matching the scalar best-first exit.
+                stats.bound_terminations += 1
+            gen_ids = np.zeros(0, dtype=np.int64)
+
+    if expired:
+        stats.completed = False
+    stats.runtime_seconds = time.perf_counter() - start_time
+
+    if pivot_row is None:
+        if pivot_dive_vertex >= 0:
+            # No arrival strictly beat the dive incumbent: the dive path —
+            # the label's prefix chain continued by the min-tick descent —
+            # is the answer.  Its window row is recomputed edge by edge so
+            # the returned distribution reproduces the reported probability
+            # exactly (the screening value was the mathematically equal dot
+            # product against the suffix tail).
+            edges_reversed = []
+            cursor = pivot_dive_parent
+            while cursor >= 0:
+                edges_reversed.append(int(arena.edge[cursor]))
+                cursor = int(arena.parent[cursor])
+            edge_ids = list(reversed(edges_reversed))
+            v = pivot_dive_vertex
+            while v != target_i:
+                e, v = suffix_next[v]
+                edge_ids.append(e)
+            row = np.zeros((1, width))
+            row[0, 0] = 1.0
+            for e in edge_ids:
+                row = batched_window_convolve(
+                    row,
+                    kernels.offsets[e : e + 1],
+                    kernels.probs[e : e + 1],
+                    kernels.totals[e : e + 1],
+                )
+                trim_window_rows(row)
+            path = tuple(network.edge(int(e)) for e in edge_ids)
+            distribution = DiscreteDistribution(0, row[0], normalize=False)
+            return RoutingResult(
+                query,
+                path,
+                distribution,
+                float(row[0, : budget + 1].sum()),
+                stats,
+            )
+        fallback = search._fallback_route(query.source, query.target)
+        if fallback is None:
+            return RoutingResult(query, (), None, 0.0, stats)
+        path, dist = fallback
+        return RoutingResult(
+            query, path, dist, dist.prob_within(budget), stats
+        )
+    edges_reversed = [pivot_edge]
+    cursor = pivot_parent
+    while cursor >= 0:
+        edges_reversed.append(int(arena.edge[cursor]))
+        cursor = int(arena.parent[cursor])
+    path = tuple(network.edge(e) for e in reversed(edges_reversed))
+    distribution = DiscreteDistribution(0, pivot_row, normalize=False)
+    return RoutingResult(query, path, distribution, pivot_probability, stats)

@@ -425,8 +425,10 @@ _WORKER_ENGINE: "RoutingEngine | None" = None
 def _worker_init(payload: bytes) -> None:
     """Pool initializer: reconstruct the engine from its pickled spec."""
     global _WORKER_ENGINE
-    network, combiner, pruning = pickle.loads(payload)
-    _WORKER_ENGINE = RoutingEngine(network, combiner, pruning=pruning)
+    network, combiner, pruning, backend, landmarks = pickle.loads(payload)
+    _WORKER_ENGINE = RoutingEngine(
+        network, combiner, pruning=pruning, backend=backend, landmarks=landmarks
+    )
 
 
 def _worker_route_shard(
@@ -477,11 +479,25 @@ class RoutingEngine:
         combiner: CostCombiner,
         *,
         pruning: PruningConfig | None = None,
+        backend: str = "auto",
+        landmarks: int | None = None,
     ) -> None:
         self.network = network
         self.combiner = combiner
         self.pruning = pruning or PruningConfig()
-        self._search = _BudgetSearch(network, combiner, pruning=self.pruning)
+        #: Search-core selection (``"auto"`` / ``"scalar"`` / ``"columnar"``)
+        #: and the optional ALT landmark count, forwarded to the search; see
+        #: :class:`~repro.routing.budget._BudgetSearch` and PERFORMANCE.md
+        #: "Columnar search core".
+        self.backend = backend
+        self.landmarks = landmarks
+        self._search = _BudgetSearch(
+            network,
+            combiner,
+            pruning=self.pruning,
+            backend=backend,
+            landmarks=landmarks,
+        )
         self._strategies: dict[str, RoutingStrategy] = {}
 
     def __repr__(self) -> str:
@@ -655,7 +671,7 @@ class RoutingEngine:
         pool: whole target groups are packed onto workers (largest group
         first), so each reverse Dijkstra is built exactly once in exactly
         one process, and each worker reconstructs the engine from a pickled
-        ``(network, combiner, pruning)`` spec.  Results are identical to the
+        ``(network, combiner, pruning, backend, landmarks)`` spec.  Results are identical to the
         serial path — answers travel back as wire documents and are
         re-materialised against this engine's network — and ``stats`` sums
         the per-shard searches.  Custom strategies must be registered at
@@ -747,7 +763,7 @@ class RoutingEngine:
             for shard in shards
         ]
         spec = pickle.dumps(
-            (self.network, self.combiner, self.pruning),
+            (self.network, self.combiner, self.pruning, self.backend, self.landmarks),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         results: list[StrategyAnswer] = [None] * len(query_list)

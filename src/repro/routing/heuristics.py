@@ -20,22 +20,32 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from typing import Any, Callable, Hashable
 
 from ..core.costs import EdgeCostTable
 from ..histograms import DiscreteDistribution
 from ..network import RoadNetwork
 from ..network.paths import reverse_dijkstra
 
-__all__ = ["OptimisticHeuristic", "clear_heuristic_cache", "HEURISTIC_CACHE_SIZE"]
+__all__ = [
+    "OptimisticHeuristic",
+    "clear_heuristic_cache",
+    "shared_versioned",
+    "HEURISTIC_CACHE_SIZE",
+]
 
-#: Maximum number of per-destination tables kept alive by :meth:`shared`.
+#: Maximum number of shared precomputation entries kept alive by
+#: :func:`shared_versioned` (per-destination heuristic tables and per-k
+#: landmark tables count against the same budget).
 HEURISTIC_CACHE_SIZE = 128
 
-#: LRU of shared heuristics.  Values hold strong references to their network
-#: and cost table, which keeps the ``id()``-based keys stable for exactly as
-#: long as the entry lives.  Keys: ``(id(network), id(costs),
-#: network.version, costs.version, target)``.
-_SHARED: "OrderedDict[tuple[int, int, int, int, int], OptimisticHeuristic]" = OrderedDict()
+#: LRU of shared precomputations.  Values hold strong references to their
+#: network and cost table, which keeps the ``id()``-based keys stable for
+#: exactly as long as the entry lives.  Keys: ``(id(network), id(costs),
+#: network.version, costs.version, slot)`` — the slot is the target vertex
+#: for per-destination heuristics, or a type-discriminating tuple such as
+#: ``("landmarks", k)`` for tables shared across every target.
+_SHARED: "OrderedDict[tuple[int, int, int, int, Hashable], Any]" = OrderedDict()
 
 #: Guards every structural operation on :data:`_SHARED`.  The LRU mixes
 #: ``move_to_end`` / ``del`` / ``popitem`` — interleaved from two serving
@@ -48,9 +58,53 @@ _SHARED_LOCK = threading.Lock()
 
 
 def clear_heuristic_cache() -> None:
-    """Drop every shared heuristic (tests and long-lived servers)."""
+    """Drop every shared precomputation (tests and long-lived servers)."""
     with _SHARED_LOCK:
         _SHARED.clear()
+
+
+def shared_versioned(
+    network: RoadNetwork,
+    costs: EdgeCostTable,
+    slot: Hashable,
+    build: Callable[[], Any],
+) -> Any:
+    """Fetch-or-build one entry of the process-wide versioned LRU.
+
+    Entries are keyed by object identity of ``(network, costs)`` plus both
+    mutation ``version`` counters, so adding vertices/edges or editing
+    histograms (``set_cost`` / ``apply_deltas``) transparently misses onto a
+    fresh build while stale-version entries are evicted eagerly (they can
+    never be hit again and would otherwise pin dead tables until LRU churn).
+
+    ``slot`` distinguishes entry flavours for one ``(network, costs)`` pair;
+    ``build`` runs *outside* the lock on a miss, so concurrent misses for
+    distinct slots proceed in parallel (two threads racing one slot may both
+    build; one result wins, the loser is garbage — cheap compared to
+    serialising every build behind one global mutex).
+    """
+    ids = (id(network), id(costs))
+    versions = (getattr(network, "version", 0), getattr(costs, "version", 0))
+    key = (*ids, *versions, slot)
+    with _SHARED_LOCK:
+        cached = _SHARED.get(key)
+        if cached is not None:
+            _SHARED.move_to_end(key)
+            return cached
+        stale = [
+            k
+            for k in _SHARED
+            if (k[0], k[1]) == ids and (k[2], k[3]) != versions
+        ]
+        for k in stale:
+            del _SHARED[k]
+    value = build()
+    with _SHARED_LOCK:
+        winner = _SHARED.setdefault(key, value)
+        _SHARED.move_to_end(key)
+        while len(_SHARED) > HEURISTIC_CACHE_SIZE:
+            _SHARED.popitem(last=False)
+        return winner
 
 
 class OptimisticHeuristic:
@@ -74,37 +128,13 @@ class OptimisticHeuristic:
         ``version`` counters (the network's and the cost table's), so adding
         vertices/edges or editing histograms (``set_cost``) transparently
         misses onto a fresh reverse Dijkstra while stale entries age out of
-        the LRU.
+        the LRU.  The fetch-or-build (and the build-outside-the-lock policy)
+        lives in :func:`shared_versioned`, which the columnar core's landmark
+        tables share.
         """
-        ids = (id(network), id(costs))
-        versions = (getattr(network, "version", 0), getattr(costs, "version", 0))
-        key = (*ids, *versions, target)
-        with _SHARED_LOCK:
-            cached = _SHARED.get(key)
-            if cached is not None:
-                _SHARED.move_to_end(key)
-                return cached
-            # Evict every stale-version entry for this same (network, costs)
-            # pair before inserting: those tables can never be hit again, and
-            # keeping them would pin dead reverse-Dijkstra maps (and, through
-            # their strong references, nothing useful) until LRU churn.
-            stale = [
-                k
-                for k in _SHARED
-                if (k[0], k[1]) == ids and (k[2], k[3]) != versions
-            ]
-            for k in stale:
-                del _SHARED[k]
-        # Build outside the lock: the reverse Dijkstra is the expensive part,
-        # and holding the global mutex through it would serialise every
-        # concurrent miss (and stall unrelated hits) behind one build.
-        heuristic = cls(network, costs, target)
-        with _SHARED_LOCK:
-            winner = _SHARED.setdefault(key, heuristic)
-            _SHARED.move_to_end(key)
-            while len(_SHARED) > HEURISTIC_CACHE_SIZE:
-                _SHARED.popitem(last=False)
-            return winner
+        return shared_versioned(
+            network, costs, target, lambda: cls(network, costs, target)
+        )
 
     @property
     def table(self) -> dict[int, float]:

@@ -171,7 +171,15 @@ def normalize_budgets(budgets: Iterable[Any]) -> tuple[int, ...]:
 
 @dataclass
 class SearchStats:
-    """Observability counters for one PBR search (or one aggregated batch)."""
+    """Observability counters for one PBR search (or one aggregated batch).
+
+    ``pruned_by_bound`` counts individual labels rejected by the bound/pivot
+    prunings; ``bound_terminations`` counts whole-search early exits (the
+    best-first queue head could no longer beat the pivot, so the search is
+    provably done).  The two are kept apart because they aggregate
+    differently: summed across a batch, per-label prunes measure pruning
+    *rates*, while terminations count at most one per member search.
+    """
 
     labels_generated: int = 0
     labels_expanded: int = 0
@@ -179,6 +187,7 @@ class SearchStats:
     pruned_by_dominance: int = 0
     pruned_unreachable: int = 0
     pivot_updates: int = 0
+    bound_terminations: int = 0
     runtime_seconds: float = 0.0
     completed: bool = True
 
@@ -202,6 +211,7 @@ class SearchStats:
             total.pruned_by_dominance += item.pruned_by_dominance
             total.pruned_unreachable += item.pruned_unreachable
             total.pivot_updates += item.pivot_updates
+            total.bound_terminations += item.bound_terminations
             total.runtime_seconds += item.runtime_seconds
             total.completed = total.completed and item.completed
         return total

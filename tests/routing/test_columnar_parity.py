@@ -1,0 +1,275 @@
+"""Scalar vs columnar search-core parity (hypothesis).
+
+The columnar core (:mod:`repro.routing.columnar`) must be an observational
+no-op relative to the scalar reference loop: same found flag, probabilities
+within 2e-12, and a route of identical probability (exploration order may
+legitimately differ only across exact-probability ties, which the dominance
+tolerance already treats as equal).  This suite forces ``backend="columnar"``
+on worlds far below the auto-dispatch threshold so every parity case runs
+both cores, across **all twelve valid pruning-flag combinations** and both
+lower-bound tiers (per-target optimistic heuristic and shared ALT landmark
+table).
+
+Also covered here: the backend dispatch contract (``"columnar"`` raises on
+incapable configurations, ``"auto"`` stays scalar below the edge-count
+threshold) and unit tests for the batched histogram kernels the columnar
+core is built from.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConvolutionModel, EdgeCostTable
+from repro.core.models import CostCombiner
+from repro.histograms import (
+    DiscreteDistribution,
+    batched_window_convolve,
+    cdf_dominance_matrix,
+    trim_window_rows,
+)
+from repro.network import RoadNetwork
+from repro.routing import RoutingQuery
+from repro.routing.budget import PruningConfig, _BudgetSearch
+from repro.routing.columnar import COLUMNAR_AUTO_MIN_EDGES
+from repro.routing.heuristics import OptimisticHeuristic
+from repro.routing.landmarks import LandmarkTable
+
+#: Every valid flag combination (cost shifting requires the heuristic).
+ALL_PRUNINGS = [
+    PruningConfig(
+        use_heuristic=h,
+        use_pivot=p,
+        use_cost_shifting=c,
+        use_dominance=d,
+    )
+    for h in (True, False)
+    for p in (True, False)
+    for c in (True, False)
+    for d in (True, False)
+    if h or not c
+]
+
+
+@st.composite
+def worlds(draw):
+    """A small routable network plus its cost table (spine + random extras)."""
+    n = draw(st.integers(min_value=5, max_value=8))
+    network = RoadNetwork()
+    for i in range(n):
+        network.add_vertex(i, float(i) * 100.0, 0.0)
+    pairs = {(i, i + 1) for i in range(n - 1)}
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=2 * n,
+        )
+    )
+    for u, v in extra:
+        if u != v:
+            pairs.add((u, v))
+    costs = EdgeCostTable(network, resolution=1.0)
+    for u, v in sorted(pairs):
+        edge = network.add_edge(u, v, length=100.0)
+        offset = draw(st.integers(min_value=1, max_value=5))
+        size = draw(st.integers(min_value=1, max_value=4))
+        weights = draw(
+            st.lists(
+                st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        costs.set_cost(edge.id, DiscreteDistribution(offset, np.asarray(weights)))
+    return network, costs, n
+
+
+def _assert_parity(scalar_result, columnar_result, budget):
+    assert columnar_result.found == scalar_result.found
+    assert abs(columnar_result.probability - scalar_result.probability) <= 2e-12
+    if scalar_result.found:
+        # The columnar route's own distribution must reproduce its reported
+        # probability — it is a real path, not a stitched artifact.
+        assert columnar_result.probability == pytest.approx(
+            columnar_result.distribution.prob_within(budget), abs=1e-12
+        )
+        vertices = columnar_result.path_vertices()
+        assert vertices[0] == scalar_result.query.source
+        assert vertices[-1] == scalar_result.query.target
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    worlds(),
+    st.sampled_from(ALL_PRUNINGS),
+    st.integers(min_value=2, max_value=45),
+)
+def test_columnar_matches_scalar_all_prunings(world, pruning, budget):
+    network, costs, n = world
+    combiner = ConvolutionModel(costs)
+    scalar = _BudgetSearch(network, combiner, pruning=pruning, backend="scalar")
+    columnar = _BudgetSearch(network, combiner, pruning=pruning, backend="columnar")
+    for source, target in [(0, n - 1), (0, n - 2), (1, n - 1)]:
+        query = RoutingQuery(source, target, budget)
+        _assert_parity(scalar.route(query), columnar.route(query), budget)
+
+
+@settings(max_examples=20, deadline=None)
+@given(worlds(), st.integers(min_value=1, max_value=4), st.integers(min_value=3, max_value=40))
+def test_columnar_landmark_mode_matches_scalar(world, k, budget):
+    """ALT bounds are weaker but sound: identical answers, any k."""
+    network, costs, n = world
+    combiner = ConvolutionModel(costs)
+    scalar = _BudgetSearch(network, combiner, backend="scalar")
+    columnar = _BudgetSearch(network, combiner, backend="columnar", landmarks=k)
+    query = RoutingQuery(0, n - 1, budget)
+    _assert_parity(scalar.route(query), columnar.route(query), budget)
+
+
+@settings(max_examples=20, deadline=None)
+@given(worlds(), st.integers(min_value=1, max_value=4))
+def test_landmark_bounds_are_admissible(world, k):
+    """Triangle-inequality bounds never exceed the exact reverse Dijkstra."""
+    network, costs, n = world
+    table = LandmarkTable(network, costs, k=k)
+    for target in range(n):
+        exact = OptimisticHeuristic(network, costs, target).table
+        bounds = table.bounds_to(target)
+        for i, vertex in enumerate(table.vertex_order):
+            true_dist = exact.get(vertex)
+            if true_dist is None:
+                continue  # unreachable: any bound (even inf) is admissible
+            assert bounds[i] <= true_dist + 1e-9
+
+
+def _tiny_world():
+    network = RoadNetwork()
+    for i in range(3):
+        network.add_vertex(i, float(i), 0.0)
+    costs = EdgeCostTable(network, resolution=1.0)
+    for u, v in [(0, 1), (1, 2), (0, 2)]:
+        edge = network.add_edge(u, v, length=10.0)
+        costs.set_cost(edge.id, DiscreteDistribution(1, np.array([0.5, 0.5])))
+    return network, costs
+
+
+class _OpaqueCombiner(CostCombiner):
+    """Convolution-shaped combiner that does not declare vectorizability."""
+
+    exact_under_truncation = True  # vectorized_convolution stays False
+
+    def combine(self, pre, edge):
+        return pre.convolve(self.edge_cost(edge))
+
+
+class TestBackendDispatch:
+    def test_forced_columnar_rejects_non_vectorized_combiner(self):
+        network, costs = _tiny_world()
+        search = _BudgetSearch(network, _OpaqueCombiner(costs), backend="columnar")
+        with pytest.raises(ValueError, match="vectorized-convolution"):
+            search.route(RoutingQuery(0, 2, 10))
+
+    def test_forced_columnar_rejects_frontier_cap(self):
+        network, costs = _tiny_world()
+        search = _BudgetSearch(
+            network,
+            ConvolutionModel(costs),
+            pruning=PruningConfig(max_frontier_size=4),
+            backend="columnar",
+        )
+        with pytest.raises(ValueError, match="max_frontier_size"):
+            search.route(RoutingQuery(0, 2, 10))
+
+    def test_forced_columnar_rejects_unclipped_search(self):
+        network, costs = _tiny_world()
+        search = _BudgetSearch(
+            network,
+            ConvolutionModel(costs),
+            backend="columnar",
+            clip_distributions=False,
+        )
+        with pytest.raises(ValueError, match="clipping"):
+            search.route(RoutingQuery(0, 2, 10))
+
+    def test_forced_columnar_rejects_oversized_window(self):
+        network, costs = _tiny_world()
+        search = _BudgetSearch(network, ConvolutionModel(costs), backend="columnar")
+        with pytest.raises(ValueError, match="budget"):
+            search.route(RoutingQuery(0, 2, 1 << 20))
+
+    def test_auto_stays_scalar_below_edge_threshold(self):
+        network, costs = _tiny_world()
+        search = _BudgetSearch(network, ConvolutionModel(costs), backend="auto")
+        assert network.num_edges < COLUMNAR_AUTO_MIN_EDGES
+        assert not search._columnar_applicable(RoutingQuery(0, 2, 10))
+
+    def test_unknown_backend_rejected_eagerly(self):
+        network, costs = _tiny_world()
+        with pytest.raises(ValueError, match="backend"):
+            _BudgetSearch(network, ConvolutionModel(costs), backend="gpu")
+
+
+class TestWindowKernels:
+    def test_window_row_head_exact_fold_conserves_mass(self):
+        dist = DiscreteDistribution(2, np.array([0.2, 0.3, 0.1, 0.4]))
+        row = dist.window_row(5)
+        # Ticks 2 and 3 are head columns; mass at ticks >= 4 folds into the
+        # last cell.
+        assert row == pytest.approx([0.0, 0.0, 0.2, 0.3, 0.5], abs=1e-15)
+        assert row.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_window_row_fully_beyond_window(self):
+        dist = DiscreteDistribution(10, np.array([1.0]))
+        row = dist.window_row(4)
+        assert row == pytest.approx([0.0, 0.0, 0.0, 1.0], abs=1e-15)
+
+    def test_batched_window_convolve_matches_scalar_convolve(self):
+        rng = np.random.default_rng(7)
+        width = 16
+        parents = np.zeros((3, width))
+        dists = []
+        for i in range(3):
+            offset = int(rng.integers(0, 4))
+            probs = rng.random(int(rng.integers(1, 5)))
+            probs /= probs.sum()
+            dist = DiscreteDistribution(offset, probs)
+            dists.append(dist)
+            parents[i] = dist.window_row(width)
+        kernel_offsets = np.array([1, 2, 1], dtype=np.int64)
+        kernel_probs = np.zeros((3, 3))
+        kernels = []
+        for i, off in enumerate(kernel_offsets):
+            probs = rng.random(int(rng.integers(1, 4)))
+            probs /= probs.sum()
+            kernels.append(DiscreteDistribution(int(off), probs))
+            kernel_probs[i, : probs.size] = probs
+        totals = kernel_probs.sum(axis=1)
+        out = batched_window_convolve(parents, kernel_offsets, kernel_probs, totals)
+        for i in range(3):
+            expected = dists[i].convolve(kernels[i]).window_row(width)
+            assert out[i] == pytest.approx(expected, abs=1e-12)
+
+    def test_trim_window_rows_mirrors_scalar_trim(self):
+        rows = np.array(
+            [
+                [1e-18, 0.5, 0.5, 1e-18, 0.0],
+                [0.0, 0.0, 1.0, 0.0, 0.0],
+            ]
+        )
+        trim_window_rows(rows)
+        assert rows[0] == pytest.approx([0.0, 0.5, 0.5, 0.0, 0.0], abs=0)
+        assert rows[1] == pytest.approx([0.0, 0.0, 1.0, 0.0, 0.0], abs=0)
+
+    def test_cdf_dominance_matrix_agrees_with_pairwise(self):
+        rng = np.random.default_rng(11)
+        a = rng.random((5, 8)).cumsum(axis=1)
+        b = rng.random((4, 8)).cumsum(axis=1)
+        out = cdf_dominance_matrix(a, b)
+        assert out.shape == (5, 4)
+        for i in range(5):
+            for j in range(4):
+                assert out[i, j] == bool(np.all(a[i] >= b[j] - 1e-12))
