@@ -1,0 +1,378 @@
+"""Scale-out serving: replay throughput, coalescing dedup, warm recovery.
+
+Three guarantees are locked in here, on a recorded Zipf-skewed OD replay
+(the production shape: a few pairs dominate, a long tail trickles):
+
+* **replay throughput** — the same closed-loop replay (``WINDOW``
+  concurrent clients) served three ways: :class:`ThreadedFrontend`,
+  :class:`AsyncFrontend`, and :class:`AsyncFrontend` over a coalescing
+  service.  QPS and p50/p99 latency are reported for each; the async
+  frontend must not regress the threaded p99 beyond
+  ``ASYNC_P99_TOLERANCE`` (it exists to scale *connections*, not to tax
+  the request path);
+* **single-flight dedup** — on a clustered-miss workload (waves of
+  ``WAVE_SIZE`` identical requests hitting an idle pool cold),
+  ``coalesce_in_flight=True`` must cut the number of engine searches by
+  at least ``DUP_REDUCTION_FLOOR``x versus the same waves uncoalesced;
+* **demand-driven warm recovery** — after a cost hot-swap, a warmed
+  service must beat an unwarmed one by at least ``WARM_HIT_MARGIN`` of
+  hit rate on the first post-swap wave, with every warmed answer tagged
+  the *new* version.
+
+``SCALEOUT_REPLAY_REQUESTS`` scales the replay (CI runs 1,000,000; the
+default keeps local smoke runs fast).  The CI workflow records this
+file's timings as ``BENCH_scaleout.json``.
+"""
+
+import asyncio
+import os
+import sys
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+# Cache hits here cost microseconds, so the default 5 ms GIL switch
+# interval — an executor thread holding the GIL across a whole interval
+# while the event loop waits — would dominate every tail percentile.
+# 1 ms keeps the comparison about the frontends, identically for all
+# three modes.
+sys.setswitchinterval(0.001)
+
+from repro.core import ConvolutionModel
+from repro.routing import RoutingQuery
+from repro.service import (
+    AsyncFrontend,
+    CacheWarmer,
+    DemandMatrix,
+    RoutingService,
+    ThreadedFrontend,
+)
+
+from conftest import emit
+
+#: Replayed requests per serving mode (CI sets 1,000,000).
+REPLAY_REQUESTS = int(os.environ.get("SCALEOUT_REPLAY_REQUESTS", "20000"))
+
+#: Closed-loop concurrency: outstanding requests (threaded window size,
+#: async client-coroutine count).
+WINDOW = 64
+
+#: Worker threads serving searches in every mode.
+NUM_WORKERS = 4
+
+#: Zipf exponent for the OD-pair popularity skew.
+ZIPF_EXPONENT = 1.1
+
+#: Async p99 may be at most this multiple of the threaded p99.  In a
+#: closed loop, latency is queueing (Little's law: WINDOW outstanding /
+#: aggregate QPS), so this floor bounds the async frontend's throughput
+#: tax on a hit-dominated replay — the catastrophic-regression alarm
+#: (an event loop serializing the request path would blow far past it).
+ASYNC_P99_TOLERANCE = 2.0
+
+#: Minimum factor by which coalescing cuts engine searches on the
+#: clustered-miss workload.
+DUP_REDUCTION_FLOOR = 2.0
+
+#: Identical concurrent requests per cold wave in the dedup bench.
+WAVE_SIZE = 8
+
+#: Modelled search latency in the dedup bench.  The small preset's
+#: searches finish in well under a millisecond — faster than a wave of
+#: requests can even reach the worker threads — so without it clustered
+#: misses would not overlap on *any* serving stack.  Production searches
+#: (the medium preset, real road graphs) take milliseconds to tens of
+#: milliseconds; the stall is applied identically with and without
+#: coalescing, and only the search *counts* are compared.
+SEARCH_STALL_SECONDS = 0.002
+
+#: Minimum first-wave hit-rate advantage of a warmed service over a cold
+#: one after a hot-swap.
+WARM_HIT_MARGIN = 0.5
+
+
+def _request_shapes(runner, count):
+    """``count`` distinct cacheable request shapes from the runner workload.
+
+    The 16 banded workload queries are fanned out across small budget
+    offsets (a larger budget keeps a feasible query feasible), giving
+    distinct cache keys that all exercise real searches.
+    """
+    base = [
+        banded.query for members in runner.workload.values() for banded in members
+    ]
+    shapes = []
+    offset = 0
+    while len(shapes) < count:
+        for query in base:
+            shapes.append(
+                RoutingQuery(query.source, query.target, query.budget + offset)
+            )
+            if len(shapes) == count:
+                break
+        offset += 1
+    return shapes
+
+
+def _recorded_replay(shapes, num_requests, seed=7):
+    """A recorded skewed replay: request index i -> shape index.
+
+    Zipf-ranked popularity over the shapes — the head pair appears tens of
+    thousands of times in a million-request replay, the tail a handful.
+    """
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.arange(1, len(shapes) + 1, dtype=float) ** ZIPF_EXPONENT
+    weights /= weights.sum()
+    return rng.choice(len(shapes), size=num_requests, p=weights)
+
+
+def _fresh_service(engine, **kwargs):
+    return RoutingService(
+        engine.network, ConvolutionModel(engine.combiner.costs.copy()), **kwargs
+    )
+
+
+def _percentiles_us(latencies):
+    return (
+        float(np.percentile(latencies, 50) * 1e6),
+        float(np.percentile(latencies, 99) * 1e6),
+    )
+
+
+def _replay_threaded(service, requests):
+    """Closed-loop threaded replay: at most WINDOW outstanding futures."""
+    latencies = np.empty(len(requests))
+    window = deque()
+
+    def drain_one():
+        index, begin, future = window.popleft()
+        response = future.result(timeout=300)
+        assert response["ok"], response
+        latencies[index] = time.perf_counter() - begin
+
+    begin_all = time.perf_counter()
+    with ThreadedFrontend(service, num_workers=NUM_WORKERS) as frontend:
+        for index, request in enumerate(requests):
+            if len(window) >= WINDOW:
+                drain_one()
+            window.append((index, time.perf_counter(), frontend.submit(request)))
+        while window:
+            drain_one()
+    return latencies, time.perf_counter() - begin_all
+
+
+def _replay_async(service, requests):
+    """Closed-loop async replay: WINDOW client coroutines share the feed."""
+    latencies = np.empty(len(requests))
+
+    async def scenario():
+        feed = enumerate(requests)  # shared: next() runs between awaits
+        async with AsyncFrontend(service, num_workers=NUM_WORKERS) as frontend:
+
+            async def client():
+                for index, request in feed:
+                    begin = time.perf_counter()
+                    response = await frontend.submit(request)
+                    latencies[index] = time.perf_counter() - begin
+                    assert response["ok"], response
+
+            begin_all = time.perf_counter()
+            await asyncio.gather(*(client() for _ in range(WINDOW)))
+            return time.perf_counter() - begin_all
+
+    return latencies, asyncio.run(scenario())
+
+
+def test_replay_throughput_threaded_vs_async_vs_coalesced(benchmark, runner):
+    """The million-request replay (CI): QPS and p50/p99 per serving mode,
+    with the async-vs-threaded p99 floor."""
+    engine = runner.engine("convolution")
+    shapes = _request_shapes(runner, 48)
+    replay = _recorded_replay(shapes, REPLAY_REQUESTS)
+    documents = [{"op": "route", "query": shape.to_dict()} for shape in shapes]
+    requests = [documents[i] for i in replay]
+
+    modes = {}
+
+    def run_all_modes():
+        services = {
+            "threaded": _fresh_service(engine),
+            "async": _fresh_service(engine),
+            "coalesced": _fresh_service(engine, coalesce_in_flight=True),
+        }
+        modes["threaded"] = (
+            *_replay_threaded(services["threaded"], requests),
+            services["threaded"],
+        )
+        for name in ("async", "coalesced"):
+            modes[name] = (*_replay_async(services[name], requests), services[name])
+        return modes
+
+    benchmark.pedantic(run_all_modes, rounds=1, iterations=1)
+
+    rows, summary = [], {}
+    for name, (latencies, elapsed, service) in modes.items():
+        p50, p99 = _percentiles_us(latencies)
+        stats = service.stats()
+        assert stats.requests == len(requests)
+        summary[name] = {"qps": len(requests) / elapsed, "p50": p50, "p99": p99}
+        rows.append(
+            f"{name:>9}: {len(requests)} reqs in {elapsed:7.2f}s = "
+            f"{summary[name]['qps']:9.0f} QPS | p50 {p50:7.1f} us | "
+            f"p99 {p99:8.1f} us | hit rate {stats.hit_rate:.2%} | "
+            f"coalesced {stats.coalesced}"
+        )
+    emit(
+        f"Scale-out replay ({REPLAY_REQUESTS} requests, {len(shapes)} OD "
+        f"shapes, Zipf {ZIPF_EXPONENT}, {WINDOW} clients, "
+        f"{NUM_WORKERS} workers)",
+        "\n".join(rows),
+    )
+
+    assert summary["async"]["p99"] <= summary["threaded"]["p99"] * (
+        ASYNC_P99_TOLERANCE
+    ), (
+        f"async p99 {summary['async']['p99']:.0f}us regresses threaded "
+        f"{summary['threaded']['p99']:.0f}us beyond {ASYNC_P99_TOLERANCE}x"
+    )
+
+
+def _count_searches(service):
+    """Wrap the slice engine to count searches at modelled latency."""
+    engine = service.engine()
+    real_route = engine.route
+    lock = threading.Lock()
+    counter = {"searches": 0}
+
+    def counting_route(query, **kwargs):
+        with lock:
+            counter["searches"] += 1
+        time.sleep(SEARCH_STALL_SECONDS)
+        return real_route(query, **kwargs)
+
+    engine.route = counting_route
+    return counter
+
+
+def _clustered_misses(service, shapes):
+    """Waves of WAVE_SIZE identical requests, each wave cold (a miss storm:
+    the post-hot-swap moment when every popular key misses at once)."""
+
+    async def scenario():
+        async with AsyncFrontend(service, num_workers=WAVE_SIZE) as frontend:
+            for shape in shapes:
+                request = {"op": "route", "query": shape.to_dict()}
+                responses = await asyncio.gather(
+                    *(frontend.submit(request) for _ in range(WAVE_SIZE))
+                )
+                for response in responses:
+                    assert response["ok"], response
+
+    asyncio.run(scenario())
+
+
+def test_coalescing_cuts_duplicate_searches(benchmark, runner):
+    """The dedup floor: on clustered misses, single-flight coalescing runs
+    at least DUP_REDUCTION_FLOOR x fewer engine searches."""
+    engine = runner.engine("convolution")
+    shapes = _request_shapes(runner, 24)
+
+    plain = _fresh_service(engine)
+    coalescing = _fresh_service(engine, coalesce_in_flight=True)
+    plain_counter = _count_searches(plain)
+    coalescing_counter = _count_searches(coalescing)
+
+    def run_both():
+        _clustered_misses(plain, shapes)
+        _clustered_misses(coalescing, shapes)
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    duplicated = plain_counter["searches"]
+    deduplicated = coalescing_counter["searches"]
+    total = len(shapes) * WAVE_SIZE
+    reduction = duplicated / deduplicated
+    emit(
+        f"Single-flight dedup ({len(shapes)} cold waves x {WAVE_SIZE} "
+        "identical requests)",
+        f"uncoalesced: {duplicated} searches for {total} requests | "
+        f"coalesced: {deduplicated} searches "
+        f"(stats: {coalescing.stats().coalesced} coalesced) | "
+        f"reduction {reduction:.1f}x",
+    )
+
+    # Every wave needs at least its leader's search; the plain service must
+    # genuinely have duplicated work for the floor to mean anything.
+    assert deduplicated >= len(shapes)
+    assert duplicated > len(shapes), "clustered misses never overlapped"
+    assert reduction >= DUP_REDUCTION_FLOOR, (
+        f"coalescing must cut duplicate searches: {reduction:.2f}x < "
+        f"{DUP_REDUCTION_FLOOR}x ({duplicated} -> {deduplicated})"
+    )
+
+
+def test_demand_warming_recovers_post_swap_hit_rate(benchmark, runner):
+    """The warm-recovery floor: after a hot-swap, the warmed service's
+    first-wave hit rate beats the unwarmed one by WARM_HIT_MARGIN."""
+    engine = runner.engine("convolution")
+    shapes = _request_shapes(runner, 16)
+    documents = [{"op": "route", "query": shape.to_dict()} for shape in shapes]
+
+    warmed = _fresh_service(engine)
+    cold = _fresh_service(engine)
+    demand = DemandMatrix()
+    for document in documents:
+        demand.record_response(document, warmed.handle_request(document))
+        cold.handle_request(document)
+
+    # The same deterministic swap on both: +2 ticks on every served edge.
+    table = engine.combiner.costs
+    touched = sorted(
+        {
+            edge_id
+            for document in documents
+            for edge_id in warmed.handle_request(document)["result"]["path"]
+        }
+    )
+    update = {
+        edge_id: table.cost(engine.network.edge(edge_id)).shift(2)
+        for edge_id in touched
+    }
+    new_version = warmed.apply_cost_update(update)
+    assert cold.apply_cost_update(update) == new_version
+
+    warmer = CacheWarmer(warmed, demand)
+
+    def warm():
+        return warmer.warm()
+
+    attempted = benchmark.pedantic(warm, rounds=1, iterations=1)
+    assert attempted == len(shapes)
+
+    def first_wave(service):
+        hits = 0
+        for document in documents:
+            response = service.handle_request(document)
+            assert response["ok"], response
+            assert response["cost_version"] == new_version
+            assert response["degraded"] is False
+            hits += bool(response["cache_hit"])
+        return hits / len(documents)
+
+    warmed_rate = first_wave(warmed)
+    cold_rate = first_wave(cold)
+    counters = warmer.stats.read()
+    emit(
+        f"Demand-driven warm recovery ({len(shapes)} hot shapes)",
+        f"post-swap first wave: warmed hit rate {warmed_rate:.0%} vs cold "
+        f"{cold_rate:.0%} (warmed {counters['warmed']}, "
+        f"warm hits {counters['warm_hits']}, errors "
+        f"{counters['warm_errors']})",
+    )
+    assert counters["warm_errors"] == 0
+    assert warmed_rate >= cold_rate + WARM_HIT_MARGIN, (
+        f"warming must recover the post-swap hit rate: {warmed_rate:.0%} "
+        f"vs cold {cold_rate:.0%} (margin < {WARM_HIT_MARGIN:.0%})"
+    )

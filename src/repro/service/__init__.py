@@ -20,8 +20,19 @@ pathological strategies from eating worker time,
 blue/green handover with bit-identical answers, and
 :class:`FaultInjector` + :class:`RetryPolicy` are the deterministic
 harness that proves all of it under injected crashes, stalls, poisoned
-feeds and clock skew.  See PERFORMANCE.md ("Serving layer", "Concurrent
-serving" and "Resilient serving") for the design.
+feeds and clock skew.
+
+The scale-out layer (:mod:`repro.service.scaleout`) adds the pieces a
+high-QPS deployment needs: :class:`AsyncFrontend` (asyncio wire frontend
+— searches on a thread-pool executor, connections as coroutines, the
+same queue-wait deadline charging as the threaded path), single-flight
+request coalescing on the service itself (``coalesce_in_flight=True``:
+N identical in-flight misses run one search, counted under
+``stats().coalesced``), and demand-driven cache warming
+(:class:`DemandMatrix` + :class:`CacheWarmer`: the hottest OD pairs are
+replayed after each cost hot-swap so a version bump does not crater the
+hit rate).  See PERFORMANCE.md ("Serving layer", "Concurrent serving",
+"Resilient serving" and "Scale-out serving") for the design.
 """
 
 from .cache import ResultCache, freeze_kwargs
@@ -32,7 +43,14 @@ from .errors import (
     error_kind,
 )
 from .faults import CircuitBreaker, FaultInjector, InjectedFault, RetryPolicy
-from .frontend import FrontendStats, ThreadedFrontend
+from .frontend import FrontendStats, ThreadedFrontend, charge_queue_wait
+from .scaleout import (
+    AsyncFrontend,
+    CacheWarmer,
+    DemandEntry,
+    DemandMatrix,
+    WarmerStats,
+)
 from .scenarios import (
     DAY_SECONDS,
     DEFAULT_SLICE_WEIGHTS,
@@ -53,12 +71,16 @@ from .sync import ReadWriteLock
 from .updates import CostUpdate
 
 __all__ = [
+    "AsyncFrontend",
+    "CacheWarmer",
     "CircuitBreaker",
     "CostUpdate",
     "DAY_SECONDS",
     "DEFAULT_SLICE",
     "DEFAULT_SLICE_WEIGHTS",
     "DeadlineExceededError",
+    "DemandEntry",
+    "DemandMatrix",
     "FaultInjector",
     "FrontendClosedError",
     "FrontendStats",
@@ -75,6 +97,8 @@ __all__ = [
     "StrategyLatency",
     "ThreadedFrontend",
     "TimeSlice",
+    "WarmerStats",
+    "charge_queue_wait",
     "error_kind",
     "freeze_kwargs",
     "time_sliced_cost_tables",

@@ -208,6 +208,20 @@ class ResultCache:
         with self._lock:
             self._entries.pop(key, None)
             self._entries[key] = (value, deadline)
+            if len(self._entries) > self.max_entries:
+                # Dead entries first: an expired entry still occupying a slot
+                # must never displace a live one, and dropping it is an
+                # expiration, not an eviction — the counters alarm on
+                # different things (TTL churn vs capacity pressure).
+                now = self._clock()
+                expired = [
+                    k
+                    for k, (_, entry_deadline) in self._entries.items()
+                    if entry_deadline is not None and now >= entry_deadline
+                ]
+                for k in expired:
+                    del self._entries[k]
+                    self.expirations += 1
             while len(self._entries) > self.max_entries:
                 self._entries.pop(next(iter(self._entries)))
                 self.evictions += 1

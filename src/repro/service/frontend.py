@@ -44,7 +44,36 @@ from .errors import FrontendClosedError, error_kind
 from .faults import FaultInjector, RetryPolicy
 from .service import RoutingService
 
-__all__ = ["FrontendStats", "ThreadedFrontend"]
+__all__ = ["FrontendStats", "ThreadedFrontend", "charge_queue_wait"]
+
+
+def charge_queue_wait(
+    request: Mapping[str, Any],
+    arrival: float,
+    clock: Callable[[], float],
+) -> Mapping[str, Any]:
+    """Charge the time since ``arrival`` against the request's ``deadline_ms``.
+
+    The client's deadline started ticking at submission, not when a worker
+    (or executor slot) finally picked the request up — so the service must
+    receive the budget that is actually left.  The adjusted budget may be
+    negative: the service treats an expired budget as a valid request that
+    goes straight to the stale rung.  Requests without a numeric deadline
+    pass through untouched (a malformed one fails validation at the
+    service, as it would have anyway).  Shared by every frontend so the
+    queue-wait semantics cannot drift between the threaded and async paths.
+    """
+    raw = request.get("deadline_ms")
+    if (
+        raw is None
+        or isinstance(raw, bool)
+        or not isinstance(raw, numbers.Real)
+    ):
+        return request
+    waited_ms = (clock() - arrival) * 1000.0
+    adjusted = dict(request)
+    adjusted["deadline_ms"] = float(raw) - waited_ms
+    return adjusted
 
 
 class FrontendStats:
@@ -61,6 +90,17 @@ class FrontendStats:
     def _bump(self, field: str) -> None:
         with self._lock:
             setattr(self, field, getattr(self, field) + 1)
+
+    def _retract(self, field: str) -> None:
+        """Un-count one event (the rare "counted, then never happened" path).
+
+        Only :meth:`ThreadedFrontend.submit` uses it, for a request that was
+        counted as submitted and then withdrawn before any worker could see
+        it — the request never existed as far as every other counter is
+        concerned, so the submission must not stay on the books.
+        """
+        with self._lock:
+            setattr(self, field, getattr(self, field) - 1)
 
     def read(self) -> dict[str, int]:
         with self._lock:
@@ -212,9 +252,13 @@ class ThreadedFrontend:
                 except queue.Empty:
                     break
                 if item is not self._STOP:
+                    # We are this item's only consumer (we popped it), so we
+                    # count the cancellation even when the future was already
+                    # cancelled by someone who did not own the item (e.g.
+                    # map_requests' prefix cleanup) — exactly-once per item.
                     _, future, _ = item
-                    if future.cancel():
-                        self.stats._bump("cancelled")
+                    future.cancel()
+                    self.stats._bump("cancelled")
         for _ in self._workers:
             self._queue.put(self._STOP)
         for worker in self._workers:
@@ -246,20 +290,42 @@ class ThreadedFrontend:
                     "closed frontends stay closed)"
                 )
         future: "Future[dict[str, Any]]" = Future()
-        self._queue.put((request, future, self._clock()))
+        item = (request, future, self._clock())
+        # Count the submission *before* the put: the moment the item is on
+        # the queue a fast worker can complete it, and a stats snapshot
+        # taken in that window must never show completed > submitted.
+        self.stats._bump("submitted")
+        self._queue.put(item)
         # close() may have begun between the check above and the put.  If it
         # did, our item either (a) landed before close's sentinels/drain and
-        # a worker will still serve it, or (b) will never be picked up — in
-        # which case cancelling succeeds and we fail loudly instead of
-        # handing back a forever-pending future.
+        # a worker will still serve it, or (b) will never be picked up.  For
+        # (b) we withdraw our exact item, un-count the submission (it never
+        # existed as far as any worker is concerned), and fail loudly
+        # instead of handing back a forever-pending future.
         with self._state_lock:
             closed_underfoot = self._closed
-        if closed_underfoot and future.cancel():
-            self.stats._bump("cancelled")
-            raise FrontendClosedError(
-                "frontend closed while the request was queued"
-            )
-        self.stats._bump("submitted")
+        if closed_underfoot:
+            with self._queue.mutex:
+                try:
+                    self._queue.queue.remove(item)
+                    withdrawn = True
+                    self._queue.not_full.notify()
+                except ValueError:
+                    withdrawn = False
+            if withdrawn:
+                future.cancel()
+                self.stats._retract("submitted")
+                raise FrontendClosedError(
+                    "frontend closed while the request was queued"
+                )
+            if future.cancelled():
+                # close(drain=False)'s sweep beat us to the item and already
+                # counted the cancellation — the submission stands, the
+                # request just reports cancelled like any other swept one.
+                raise FrontendClosedError(
+                    "frontend closed while the request was queued"
+                )
+            # Otherwise a worker owns the item and will serve it.
         return future
 
     def request(self, request: Mapping[str, Any]) -> dict[str, Any]:
@@ -273,9 +339,23 @@ class ThreadedFrontend:
 
         All requests enter the queue before the first wait, so the pool
         overlaps them; the returned list preserves input order regardless
-        of completion order.
+        of completion order.  If a mid-list :meth:`submit` raises (the
+        frontend closed underfoot), the already-submitted prefix is
+        cancelled or awaited before the error propagates — the caller must
+        never be left with in-flight futures it cannot collect.
         """
-        futures: Sequence[Future] = [self.submit(r) for r in list(requests)]
+        futures: list[Future] = []
+        try:
+            for request in list(requests):
+                futures.append(self.submit(request))
+        except FrontendClosedError:
+            for future in futures:
+                if not future.cancel():
+                    try:
+                        future.result()
+                    except Exception:
+                        pass  # settled is all we need; the caller sees the close
+            raise
         return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
@@ -287,25 +367,10 @@ class ThreadedFrontend:
     ) -> Mapping[str, Any]:
         """Charge the time spent queued against the request's deadline.
 
-        The client's ``deadline_ms`` started ticking at :meth:`submit`,
-        not when a worker finally picked the request up — so the service
-        receives the budget that is actually left.  It may be negative:
-        the service treats an expired budget as a valid request that goes
-        straight to the stale rung.  Requests without a numeric deadline
-        pass through untouched (a malformed one fails validation at the
-        service, as it would have anyway).
+        Delegates to the module-level :func:`charge_queue_wait` — one
+        definition of queue-wait charging shared with the async frontend.
         """
-        raw = request.get("deadline_ms")
-        if (
-            raw is None
-            or isinstance(raw, bool)
-            or not isinstance(raw, numbers.Real)
-        ):
-            return request
-        waited_ms = (self._clock() - arrival) * 1000.0
-        adjusted = dict(request)
-        adjusted["deadline_ms"] = float(raw) - waited_ms
-        return adjusted
+        return charge_queue_wait(request, arrival, self._clock)
 
     def _serve(self, request: Mapping[str, Any]) -> dict[str, Any]:
         """One request through fault injection and retry-with-backoff.
@@ -344,7 +409,12 @@ class ThreadedFrontend:
                 return
             request, future, arrival = item
             if not future.set_running_or_notify_cancel():
-                continue  # cancelled by close(drain=False) before we got it
+                # Cancelled while queued (a caller cancelled the future
+                # directly — close(drain=False)'s sweep counts the items it
+                # pops itself and we never see those).  We are the only
+                # consumer of this item, so counting here is exactly-once.
+                self.stats._bump("cancelled")
+                continue
             try:
                 response = self._serve(self._against_queue_wait(request, arrival))
             except BaseException as exc:  # pragma: no cover - _serve answers

@@ -1,0 +1,769 @@
+"""Scale-out serving: async frontend, demand tracking, cache warming.
+
+Three pieces that turn one :class:`~repro.service.RoutingService` into a
+frontend that holds up under production-shaped load:
+
+* :class:`AsyncFrontend` — an asyncio frontend speaking the existing JSON
+  wire protocol (newline-delimited JSON over TCP), with searches running
+  in a thread-pool executor so the event loop never blocks.  Thousands of
+  idle client connections cost coroutines, not threads; a request's
+  ``deadline_ms`` is charged for its queue wait with exactly the
+  :class:`~repro.service.frontend.ThreadedFrontend` semantics (the shared
+  :func:`~repro.service.frontend.charge_queue_wait`).
+* :class:`DemandMatrix` — a bounded top-K census of the OD pairs actually
+  being served, buildable live from traffic (the frontend feeds it) or
+  offline from a recorded workload.
+* :class:`CacheWarmer` — replays the demand matrix's hottest pairs against
+  the service after each cost hot-swap, so a version bump (which strands
+  every cached answer by construction) does not crater the hit rate for
+  the next thousand live requests.  Warming runs at background priority:
+  bounded concurrency, optional yield between replays, and an immediate
+  abort when yet another version bump lands mid-warm.
+
+Everything here *wires into* the existing stack — the service's
+``handle_request`` contract, ``FrontendStats``, the coalescing and
+degradation machinery — rather than standing beside it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import numbers
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from ..routing import RoutingQuery
+from .errors import FrontendClosedError, error_kind
+from .frontend import FrontendStats, charge_queue_wait
+from .service import RoutingService
+
+__all__ = [
+    "AsyncFrontend",
+    "CacheWarmer",
+    "DemandEntry",
+    "DemandMatrix",
+    "WarmerStats",
+]
+
+
+# ----------------------------------------------------------------------
+# Demand tracking
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DemandEntry:
+    """One observed request shape and how often it was served."""
+
+    source: int
+    target: int
+    budget: int
+    strategy: str
+    slice_name: str | None
+    count: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "target": self.target,
+            "budget": self.budget,
+            "strategy": self.strategy,
+            "slice": self.slice_name,
+            "count": self.count,
+        }
+
+
+class DemandMatrix:
+    """A bounded, thread-safe census of served OD-pair demand.
+
+    Keys are the *cacheable request shape* —
+    ``(slice, strategy, source, target, budget)`` — which is exactly the
+    cache key minus kwargs and version, so replaying a hot entry produces
+    the cache entry live traffic will hit.  ``max_pairs`` bounds memory:
+    at the cap, recording a new shape evicts the lowest-count one
+    (ties broken against the most recently first-seen shape, so
+    long-standing demand survives churn).
+
+    Feed it live via :meth:`record_response` (the shape of a frontend
+    deliver hook) or offline via :meth:`record`; read it via :meth:`top`.
+    """
+
+    def __init__(self, *, max_pairs: int = 4096) -> None:
+        if (
+            isinstance(max_pairs, bool)
+            or not isinstance(max_pairs, numbers.Integral)
+            or max_pairs < 1
+        ):
+            raise ValueError(
+                f"max_pairs must be a positive integer, got {max_pairs!r}"
+            )
+        self.max_pairs = int(max_pairs)
+        self._lock = threading.Lock()
+        #: key -> [count, first-seen sequence number]
+        self._pairs: dict[tuple, list[int]] = {}
+        self._seq = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pairs)
+
+    @property
+    def total(self) -> int:
+        """Total recordings across every tracked pair (evictions excluded)."""
+        with self._lock:
+            return sum(entry[0] for entry in self._pairs.values())
+
+    def record(
+        self,
+        source: int,
+        target: int,
+        budget: int,
+        *,
+        strategy: str = "pbr",
+        slice_name: str | None = None,
+        count: int = 1,
+    ) -> None:
+        """Count one (or ``count``) served requests for a request shape."""
+        if (
+            isinstance(count, bool)
+            or not isinstance(count, numbers.Integral)
+            or count < 1
+        ):
+            raise ValueError(f"count must be a positive integer, got {count!r}")
+        key = (slice_name, strategy, int(source), int(target), int(budget))
+        with self._lock:
+            entry = self._pairs.get(key)
+            if entry is None:
+                self._pairs[key] = [int(count), self._seq]
+                self._seq += 1
+                while len(self._pairs) > self.max_pairs:
+                    coldest = min(
+                        self._pairs,
+                        key=lambda k: (self._pairs[k][0], -self._pairs[k][1]),
+                    )
+                    del self._pairs[coldest]
+            else:
+                entry[0] += int(count)
+
+    def record_response(
+        self, request: Mapping[str, Any], response: Mapping[str, Any]
+    ) -> None:
+        """Record one served wire exchange (deliver-hook shaped).
+
+        Only successful single-route responses count — demand is what the
+        service actually served, so errors and batch/admin ops are
+        ignored.  Requests carrying ``time_limit_seconds`` or strategy
+        kwargs are skipped too: their cache keys differ from what a warm
+        replay would produce, so warming them cannot help live traffic.
+        """
+        if not isinstance(request, Mapping) or not isinstance(response, Mapping):
+            return
+        if request.get("op") not in ("route", "route_at"):
+            return
+        if not response.get("ok") or response.get("kind") != "served":
+            return
+        if request.get("time_limit_seconds") is not None or request.get("kwargs"):
+            return
+        query = request.get("query")
+        if not isinstance(query, Mapping):
+            return
+        try:
+            self.record(
+                int(query["source"]),
+                int(query["target"]),
+                int(query["budget"]),
+                strategy=str(response.get("strategy", "pbr")),
+                # The response names the slice route_at resolved to.
+                slice_name=response.get("slice"),
+            )
+        except (KeyError, TypeError, ValueError):
+            return  # malformed-but-ok document: not worth recording
+
+    def top(self, k: int | None = None) -> list[DemandEntry]:
+        """The hottest pairs, highest count first (ties: first seen first)."""
+        with self._lock:
+            ranked = sorted(
+                self._pairs.items(), key=lambda item: (-item[1][0], item[1][1])
+            )
+        if k is not None:
+            ranked = ranked[:k]
+        return [
+            DemandEntry(
+                source=key[2],
+                target=key[3],
+                budget=key[4],
+                strategy=key[1],
+                slice_name=key[0],
+                count=entry[0],
+            )
+            for key, entry in ranked
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dump (exact :meth:`from_dict` round-trip), hot first."""
+        return {
+            "kind": "demand_matrix",
+            "max_pairs": self.max_pairs,
+            "pairs": [entry.to_dict() for entry in self.top()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DemandMatrix":
+        if data.get("kind") != "demand_matrix":
+            raise ValueError(
+                f"expected a demand_matrix document, got kind={data.get('kind')!r}"
+            )
+        matrix = cls(max_pairs=data["max_pairs"])
+        for pair in data["pairs"]:
+            matrix.record(
+                pair["source"],
+                pair["target"],
+                pair["budget"],
+                strategy=pair["strategy"],
+                slice_name=pair.get("slice"),
+                count=pair["count"],
+            )
+        return matrix
+
+
+# ----------------------------------------------------------------------
+# Demand-driven cache warming
+# ----------------------------------------------------------------------
+
+
+class WarmerStats:
+    """Cumulative warmer counters (atomic snapshot via ``read``)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.runs = 0
+        self.warmed = 0
+        self.warm_hits = 0
+        self.warm_errors = 0
+        self.aborted = 0
+
+    def _bump(self, field: str) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + 1)
+
+    def read(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "runs": self.runs,
+                "warmed": self.warmed,
+                "warm_hits": self.warm_hits,
+                "warm_errors": self.warm_errors,
+                "aborted": self.aborted,
+            }
+
+
+class CacheWarmer:
+    """Replay the hottest demand against the service after a hot-swap.
+
+    A cost-version bump strands every cached answer for its slice, so the
+    next request for each hot OD pair pays a full search at live-traffic
+    latency.  The warmer pays those searches *off* the request path
+    instead: :meth:`warm` replays the demand matrix's top ``top_k`` pairs
+    through the ordinary :meth:`RoutingService.route` path (same cache,
+    same admission policy, same coalescing — a live request arriving
+    mid-warm simply coalesces onto the warm search).
+
+    Background priority, by construction: at most ``concurrency`` replays
+    in flight (default 1), an optional ``yield_seconds`` sleep between
+    replays, and an abort as soon as the slice's version moves again
+    mid-warm — the freshly warmed entries would be stranded anyway, and
+    the warm for the *new* version is about to be scheduled.
+
+    Counters (:attr:`stats`): ``warmed`` replays that really searched,
+    ``warm_hits`` replays that found the entry already present (live
+    traffic beat us to it, or a previous warm did), ``warm_errors``
+    replays that failed, ``aborted`` warms cut short by a version change.
+    """
+
+    def __init__(
+        self,
+        service: RoutingService,
+        demand: DemandMatrix,
+        *,
+        top_k: int = 256,
+        concurrency: int = 1,
+        yield_seconds: float = 0.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if (
+            isinstance(top_k, bool)
+            or not isinstance(top_k, numbers.Integral)
+            or top_k < 1
+        ):
+            raise ValueError(f"top_k must be a positive integer, got {top_k!r}")
+        if (
+            isinstance(concurrency, bool)
+            or not isinstance(concurrency, numbers.Integral)
+            or concurrency < 1
+        ):
+            raise ValueError(
+                f"concurrency must be a positive integer, got {concurrency!r}"
+            )
+        if (
+            isinstance(yield_seconds, bool)
+            or not isinstance(yield_seconds, numbers.Real)
+            or not yield_seconds >= 0
+        ):
+            raise ValueError(
+                f"yield_seconds must be a non-negative number, got {yield_seconds!r}"
+            )
+        self.service = service
+        self.demand = demand
+        self.top_k = int(top_k)
+        self.concurrency = int(concurrency)
+        self.yield_seconds = float(yield_seconds)
+        self._sleep = sleep
+        self.stats = WarmerStats()
+        self._warm_lock = threading.Lock()  # one warm run at a time
+        self._state_lock = threading.Lock()
+        self._last_warmed: dict[str, int] = {}
+
+    def notify_update(self, slice_name: str | None = None) -> bool:
+        """Warm one slice iff its cost version moved since the last warm.
+
+        The hook a frontend calls after applying a cost update; returns
+        whether a warm actually ran.  Idempotent per version: replayed or
+        duplicate notifications are no-ops.
+        """
+        name = self.service._resolve_slice(slice_name)
+        current = self.service.cost_version(name)
+        with self._state_lock:
+            if self._last_warmed.get(name) == current:
+                return False
+        self.warm(slice_name=name)
+        return True
+
+    def warm(self, slice_name: str | None = None) -> int:
+        """Replay the top-K demand for one slice; returns replays attempted.
+
+        Entries recorded without an explicit slice belong to the service's
+        default slice.  The slice's cost version is read once up front;
+        if it moves mid-warm the run aborts (counted under ``aborted``) —
+        the remaining replays would warm a version already stranded.
+        """
+        name = self.service._resolve_slice(slice_name)
+        with self._warm_lock:
+            target_version = self.service.cost_version(name)
+            entries = [
+                entry
+                for entry in self.demand.top(self.top_k)
+                if (
+                    entry.slice_name
+                    if entry.slice_name is not None
+                    else self.service.default_slice
+                )
+                == name
+            ]
+            self.stats._bump("runs")
+            attempted = 0
+            aborted = False
+            if self.concurrency > 1 and len(entries) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=self.concurrency,
+                    thread_name_prefix="cache-warmer",
+                ) as pool:
+                    for entry in entries:
+                        if self.service.cost_version(name) != target_version:
+                            aborted = True
+                            break
+                        pool.submit(self._replay, entry, name, target_version)
+                        attempted += 1
+                        if self.yield_seconds > 0:
+                            self._sleep(self.yield_seconds)
+            else:
+                for entry in entries:
+                    if self.service.cost_version(name) != target_version:
+                        aborted = True
+                        break
+                    self._replay(entry, name, target_version)
+                    attempted += 1
+                    if self.yield_seconds > 0:
+                        self._sleep(self.yield_seconds)
+            if aborted:
+                self.stats._bump("aborted")
+            else:
+                with self._state_lock:
+                    self._last_warmed[name] = target_version
+            return attempted
+
+    def _replay(self, entry: DemandEntry, name: str, target_version: int) -> None:
+        try:
+            served = self.service.route(
+                RoutingQuery(entry.source, entry.target, entry.budget),
+                strategy=entry.strategy,
+                slice_name=name,
+            )
+        except Exception:
+            self.stats._bump("warm_errors")
+            return
+        if served.cost_version != target_version:
+            # A bump landed while this replay ran; the answer is tagged
+            # with a version live lookups will never ask for again.
+            self.stats._bump("warm_errors")
+        elif served.cache_hit or served.coalesced:
+            self.stats._bump("warm_hits")
+        else:
+            self.stats._bump("warmed")
+
+
+# ----------------------------------------------------------------------
+# Async frontend
+# ----------------------------------------------------------------------
+
+
+class AsyncFrontend:
+    """An asyncio frontend over one :class:`RoutingService`.
+
+    The async sibling of :class:`~repro.service.frontend.ThreadedFrontend`
+    — same wire protocol, same always-answer contract, same
+    :class:`FrontendStats` — built for connection scale: clients are
+    coroutines (or TCP connections), and only the searches themselves
+    occupy the ``num_workers`` executor threads.  A request's
+    ``deadline_ms`` is charged for the time between submission and
+    executor pickup via the shared
+    :func:`~repro.service.frontend.charge_queue_wait`, so queue wait
+    degrades a request exactly as it does on the threaded path.
+
+    ``max_pending`` (0 = unbounded) bounds submitted-but-unfinished
+    requests with an :class:`asyncio.Semaphore` — backpressure, not an
+    error, like the threaded queue bound.
+
+    Optional wiring: a :class:`DemandMatrix` (``demand``) is fed every
+    served route, and a :class:`CacheWarmer` (``warmer``) is notified —
+    off the request path, on a dedicated single-thread executor — after
+    every successfully applied cost update, so hot-swaps arriving over
+    the wire re-warm the cache automatically.
+
+    With ``port`` given (0 = ephemeral), :meth:`start` also listens for
+    newline-delimited JSON over TCP: one request per line, one response
+    per line, responses in request order per connection while up to
+    ``pipeline_depth`` requests per connection execute concurrently.
+
+    Use as an async context manager::
+
+        async with AsyncFrontend(service, port=0) as frontend:
+            response = await frontend.submit({"op": "stats"})
+    """
+
+    def __init__(
+        self,
+        service: RoutingService,
+        *,
+        num_workers: int = 4,
+        max_pending: int = 0,
+        demand: DemandMatrix | None = None,
+        warmer: CacheWarmer | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        pipeline_depth: int = 64,
+    ) -> None:
+        if (
+            isinstance(num_workers, bool)
+            or not isinstance(num_workers, numbers.Integral)
+            or num_workers < 1
+        ):
+            raise ValueError(
+                f"num_workers must be a positive integer, got {num_workers!r}"
+            )
+        if (
+            isinstance(max_pending, bool)
+            or not isinstance(max_pending, numbers.Integral)
+            or max_pending < 0
+        ):
+            raise ValueError(
+                f"max_pending must be a non-negative integer, got {max_pending!r}"
+            )
+        if (
+            isinstance(pipeline_depth, bool)
+            or not isinstance(pipeline_depth, numbers.Integral)
+            or pipeline_depth < 1
+        ):
+            raise ValueError(
+                f"pipeline_depth must be a positive integer, got {pipeline_depth!r}"
+            )
+        self.service = service
+        self.num_workers = int(num_workers)
+        self.max_pending = int(max_pending)
+        self.demand = demand
+        self.warmer = warmer
+        self.host = host
+        self.port = port
+        self.pipeline_depth = int(pipeline_depth)
+        self._clock = clock
+        self.stats = FrontendStats()
+        self._executor: ThreadPoolExecutor | None = None
+        self._warm_executor: ThreadPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._pending: asyncio.Semaphore | None = None
+        self._background: set[asyncio.Future] = set()
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "AsyncFrontend":
+        """Spin up the executor (and TCP listener, when ``port`` is set)."""
+        if self._closed:
+            raise FrontendClosedError("frontend is closed and cannot restart")
+        if self._started:
+            return self
+        self._started = True
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.num_workers, thread_name_prefix="routing-async"
+        )
+        if self.warmer is not None:
+            # One thread: warms for successive updates run in arrival
+            # order, never as a thundering herd of warm threads.
+            self._warm_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="routing-warm"
+            )
+        if self.max_pending > 0:
+            self._pending = asyncio.Semaphore(self.max_pending)
+        if self.port is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port
+            )
+        return self
+
+    async def close(self) -> None:
+        """Stop accepting work, finish in-flight requests, release threads."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._started:
+            return
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._background:
+            await asyncio.gather(*list(self._background), return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        executor, self._executor = self._executor, None
+        warm_executor, self._warm_executor = self._warm_executor, None
+        if executor is not None:
+            await loop.run_in_executor(None, executor.shutdown)
+        if warm_executor is not None:
+            await loop.run_in_executor(None, warm_executor.shutdown)
+
+    async def __aenter__(self) -> "AsyncFrontend":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    @property
+    def addresses(self) -> list[tuple]:
+        """The (host, port) pairs the TCP listener is bound to."""
+        if self._server is None:
+            return []
+        return [sock.getsockname()[:2] for sock in self._server.sockets]
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+
+    async def submit(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """Serve one wire request document; returns its response document.
+
+        The coroutine-shaped :meth:`ThreadedFrontend.submit`: it suspends
+        (never blocks the loop) while the search runs on an executor
+        thread, and applies ``max_pending`` backpressure by awaiting the
+        semaphore.  Raises :class:`FrontendClosedError` when the frontend
+        was never started or is closing.
+        """
+        if not self._started or self._closed:
+            raise FrontendClosedError(
+                "frontend is not accepting requests (start() it first; "
+                "closed frontends stay closed)"
+            )
+        self.stats._bump("submitted")
+        arrival = self._clock()
+        if self._pending is not None:
+            async with self._pending:
+                response = await self._run(request, arrival)
+        else:
+            response = await self._run(request, arrival)
+        if self.demand is not None:
+            self.demand.record_response(request, response)
+        self._maybe_schedule_warm(request, response)
+        self.stats._bump("completed")
+        return response
+
+    async def _run(
+        self, request: Mapping[str, Any], arrival: float
+    ) -> dict[str, Any]:
+        executor = self._executor
+        if executor is None:
+            raise FrontendClosedError("frontend closed while the request was queued")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(executor, self._serve, request, arrival)
+
+    def _serve(self, request: Mapping[str, Any], arrival: float) -> dict[str, Any]:
+        # Executor-thread side: the wait between submission and this
+        # pickup is the async frontend's queue wait.
+        return self.service.handle_request(
+            charge_queue_wait(request, arrival, self._clock)
+        )
+
+    def _maybe_schedule_warm(
+        self, request: Mapping[str, Any], response: Mapping[str, Any]
+    ) -> None:
+        """After a successful wire cost update, kick the warmer (background)."""
+        if (
+            self.warmer is None
+            or self._warm_executor is None
+            or request.get("op") != "apply_update"
+            or not response.get("ok")
+        ):
+            return
+        loop = asyncio.get_running_loop()
+        task = loop.run_in_executor(
+            self._warm_executor, self.warmer.notify_update, response.get("slice")
+        )
+        self._background.add(task)
+        task.add_done_callback(self._background.discard)
+
+    async def map_requests(
+        self,
+        requests: Iterable[Mapping[str, Any]],
+        *,
+        concurrency: int = 32,
+    ) -> list[dict[str, Any]]:
+        """Serve many requests concurrently; responses in input order.
+
+        ``concurrency`` bounds how many are in flight at once (on top of
+        any ``max_pending`` bound).  Like the threaded
+        :meth:`~ThreadedFrontend.map_requests`, a close underfoot leaves
+        nothing uncollected: every coroutine settles before the error
+        propagates (``gather`` awaits them all).
+        """
+        if (
+            isinstance(concurrency, bool)
+            or not isinstance(concurrency, numbers.Integral)
+            or concurrency < 1
+        ):
+            raise ValueError(
+                f"concurrency must be a positive integer, got {concurrency!r}"
+            )
+        gate = asyncio.Semaphore(int(concurrency))
+
+        async def one(request: Mapping[str, Any]) -> dict[str, Any]:
+            async with gate:
+                return await self.submit(request)
+
+        results = await asyncio.gather(
+            *(one(request) for request in list(requests)),
+            return_exceptions=True,
+        )
+        for outcome in results:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return list(results)
+
+    # ------------------------------------------------------------------
+    # Wire (newline-delimited JSON over TCP)
+    # ------------------------------------------------------------------
+
+    async def handle_line(self, line: str) -> str:
+        """One JSON request line to one JSON response line.
+
+        Parse-failure documents match :meth:`RoutingService.handle_json`
+        exactly — the wire contract is the service's, whichever frontend
+        speaks it.
+        """
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return json.dumps(
+                {
+                    "ok": False,
+                    "error": f"JSONDecodeError: {exc}",
+                    "error_kind": error_kind(exc),
+                }
+            )
+        if not isinstance(request, Mapping):
+            return json.dumps(
+                {
+                    "ok": False,
+                    "error": "TypeError: request must be an object",
+                    "error_kind": "bad_request",
+                }
+            )
+        try:
+            response = await self.submit(request)
+        except FrontendClosedError as exc:
+            # A request that raced shutdown still gets an answer document
+            # before its connection is torn down.
+            response = {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_kind": error_kind(exc),
+            }
+        return json.dumps(response)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: pipelined requests, ordered responses.
+
+        Each request line starts executing immediately (up to
+        ``pipeline_depth`` per connection); a single writer coroutine
+        awaits the response tasks in arrival order, so responses line up
+        with requests without any client-side correlation ids.
+        """
+        in_order: asyncio.Queue = asyncio.Queue(maxsize=self.pipeline_depth)
+
+        async def write_responses() -> None:
+            while True:
+                task = await in_order.get()
+                if task is None:
+                    return
+                try:
+                    response_line = await task
+                except Exception as exc:
+                    response_line = json.dumps(
+                        {
+                            "ok": False,
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "error_kind": error_kind(exc),
+                        }
+                    )
+                writer.write(response_line.encode("utf-8") + b"\n")
+                await writer.drain()
+
+        responder = asyncio.create_task(write_responses())
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                await in_order.put(asyncio.create_task(self.handle_line(text)))
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; drain what we have and close
+        finally:
+            await in_order.put(None)
+            try:
+                await responder
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass

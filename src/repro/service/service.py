@@ -120,6 +120,12 @@ class ServedResult:
     deterministic fallback), or ``"stale_cache"`` (a previous-version cache
     entry, tagged with the version it was computed under).  Non-degraded
     answers carry ``fallback_strategy=None``.
+
+    ``coalesced`` marks an answer this request did not search for itself:
+    an identical request was already in flight and its one search fanned
+    out (see :class:`RoutingService`'s ``coalesce_in_flight``).  The answer
+    object is the very one the leading request computed — bit-equal by
+    construction, tagged with the same ``cost_version``.
     """
 
     result: ServiceAnswer | None
@@ -129,6 +135,7 @@ class ServedResult:
     strategy: str
     degraded: bool = False
     fallback_strategy: str | None = None
+    coalesced: bool = False
 
     @property
     def found(self) -> bool:
@@ -144,6 +151,7 @@ class ServedResult:
             "cost_version": self.cost_version,
             "degraded": self.degraded,
             "fallback_strategy": self.fallback_strategy,
+            "coalesced": self.coalesced,
             "result": None if self.result is None else self.result.to_dict(),
         }
 
@@ -161,6 +169,8 @@ class ServedResult:
             # Absent in pre-resilience documents: default to non-degraded.
             degraded=bool(data.get("degraded", False)),
             fallback_strategy=data.get("fallback_strategy"),
+            # Absent in pre-scaleout documents: default to not coalesced.
+            coalesced=bool(data.get("coalesced", False)),
         )
 
 
@@ -277,6 +287,7 @@ class ServiceStats:
     deadline_misses: int = 0
     served_degraded: int = 0
     served_stale: int = 0
+    coalesced: int = 0
     breaker_trips: int = 0
     breakers: dict[str, str] = field(default_factory=dict)
     strategies: dict[str, StrategyLatency] = field(default_factory=dict)
@@ -301,6 +312,7 @@ class ServiceStats:
             "deadline_misses": self.deadline_misses,
             "served_degraded": self.served_degraded,
             "served_stale": self.served_stale,
+            "coalesced": self.coalesced,
             "breaker_trips": self.breaker_trips,
             "breakers": dict(sorted(self.breakers.items())),
             "hit_rate": self.hit_rate,
@@ -327,6 +339,8 @@ class ServiceStats:
             deadline_misses=int(data.get("deadline_misses", 0)),
             served_degraded=int(data.get("served_degraded", 0)),
             served_stale=int(data.get("served_stale", 0)),
+            # Absent in pre-scaleout documents: no coalescing happened.
+            coalesced=int(data.get("coalesced", 0)),
             breaker_trips=int(data.get("breaker_trips", 0)),
             breakers={
                 str(name): str(state)
@@ -337,6 +351,26 @@ class ServiceStats:
                 for name, payload in data.get("strategies", {}).items()
             },
         )
+
+
+class _SingleFlight:
+    """One in-flight search that identical concurrent requests share.
+
+    The first request to miss on a cache key becomes the *leader* and runs
+    the search; every later identical request becomes a *follower* and
+    waits on ``done`` instead of searching again.  ``outcome`` is ``"ok"``
+    when the leader finished with a shareable answer (``result`` holds it)
+    and ``"abandoned"`` when it exited any other way — errored, declined,
+    or degraded under its own deadline — in which case followers retry
+    from the cache (and one of them becomes the new leader).
+    """
+
+    __slots__ = ("done", "outcome", "result")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.outcome = "abandoned"
+        self.result: ServiceAnswer | None = None
 
 
 class RoutingService:
@@ -383,6 +417,17 @@ class RoutingService:
     ``breaker_cooldown_seconds``, probing half-open afterwards.  ``clock``
     is the monotonic time source for deadlines, TTLs and breakers —
     injectable so every one of those behaviours tests deterministically.
+
+    **Single-flight coalescing** (``coalesce_in_flight=True``): N identical
+    in-flight requests — same cache key, so same slice, strategy, query,
+    kwargs *and* cost version — run one search; the first to miss leads,
+    the rest wait and receive the leader's answer object tagged
+    ``coalesced`` (counted under ``stats().coalesced``, not hits/misses:
+    ``hits + misses + coalesced`` equals the served-lookup count).  A
+    follower carrying a deadline waits only within its remaining budget
+    and degrades on its own ladder if the leader is too slow.  Off by
+    default: without concurrent identical traffic it is pure overhead,
+    and the exact ``hits + misses == lookups`` contract predates it.
     """
 
     def __init__(
@@ -399,6 +444,7 @@ class RoutingService:
         clock: Callable[[], float] = time.monotonic,
         breaker_failure_threshold: int = 5,
         breaker_cooldown_seconds: float = 1.0,
+        coalesce_in_flight: bool = False,
     ) -> None:
         if not (
             isinstance(admission_min_compute_seconds, numbers.Real)
@@ -438,6 +484,13 @@ class RoutingService:
         self._breaker_failure_threshold = breaker_failure_threshold
         self._breaker_cooldown_seconds = breaker_cooldown_seconds
         self._breakers: dict[str, CircuitBreaker] = {}
+        # Single-flight coalescing: cache key -> the in-flight search for
+        # it.  Opt-in because it changes the accounting contract (a
+        # coalesced request counts under ``coalesced``, not hits/misses).
+        self.coalesce_in_flight = bool(coalesce_in_flight)
+        self._flights: dict[tuple, _SingleFlight] = {}
+        self._flights_lock = threading.Lock()
+        self._coalesced = 0
         self._stats_lock = threading.Lock()
         self._latency: dict[str, StrategyLatency] = {}
         self._requests = 0
@@ -466,6 +519,7 @@ class RoutingService:
         clock: Callable[[], float] = time.monotonic,
         breaker_failure_threshold: int = 5,
         breaker_cooldown_seconds: float = 1.0,
+        coalesce_in_flight: bool = False,
     ) -> "RoutingService":
         """Build a scenario service from named per-slice cost tables.
 
@@ -495,6 +549,7 @@ class RoutingService:
             clock=clock,
             breaker_failure_threshold=breaker_failure_threshold,
             breaker_cooldown_seconds=breaker_cooldown_seconds,
+            coalesce_in_flight=coalesce_in_flight,
         )
         for name, table in slice_tables.items():
             if name != first:
@@ -619,28 +674,59 @@ class RoutingService:
             version = engine.cost_version
             extras = self._key_extras(time_limit_seconds, kwargs)
             key = self._cache_key(name, strategy, query, extras, version)
-            if key is not None:
-                cached = self._cache.get(key)
-                if cached is not None:
+            flight: _SingleFlight | None = None
+            while True:
+                if key is not None:
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        self._record(strategy, time.perf_counter() - begin)
+                        return ServedResult(cached, True, version, name, strategy)
+                if key is None or not self.coalesce_in_flight:
+                    break
+                joined, is_leader = self._join_flight(key)
+                if is_leader:
+                    flight = joined
+                    break
+                # Follower: this request will never search — the leader's
+                # one search serves us all — so the lookup above was never
+                # real miss traffic.  Waiting here holds only this thread's
+                # read lock, which the leader does not need to finish.
+                self._cache.refund_miss()
+                joined.done.wait()
+                if joined.outcome == "ok":
+                    with self._stats_lock:
+                        self._coalesced += 1
                     self._record(strategy, time.perf_counter() - begin)
-                    return ServedResult(cached, True, version, name, strategy)
+                    return ServedResult(
+                        joined.result, False, version, name, strategy,
+                        coalesced=True,
+                    )
+                # The leader abandoned (errored or degraded): retry from
+                # the cache; one retrying follower becomes the new leader.
             compute_begin = time.perf_counter()
             try:
-                result = engine.route(
-                    query,
-                    strategy=strategy,
-                    time_limit_seconds=time_limit_seconds,
-                    **kwargs,
-                )
-            except BaseException:
-                # The lookup above was never cache traffic — the request
-                # failed, so refund its miss; the request itself still
-                # counts.
-                if key is not None:
-                    self._cache.refund_miss()
-                raise
+                try:
+                    result = engine.route(
+                        query,
+                        strategy=strategy,
+                        time_limit_seconds=time_limit_seconds,
+                        **kwargs,
+                    )
+                except BaseException:
+                    # The lookup above was never cache traffic — the request
+                    # failed, so refund its miss; the request itself still
+                    # counts.
+                    if key is not None:
+                        self._cache.refund_miss()
+                    raise
+                if flight is not None:
+                    # Release followers before the cache insert — they need
+                    # the answer object, not the cache entry.
+                    self._finish_flight(key, flight, outcome="ok", result=result)
             finally:
                 self._record(strategy, time.perf_counter() - begin)
+                if flight is not None and not flight.done.is_set():
+                    self._finish_flight(key, flight, outcome="abandoned")
             if key is not None and result is not None:
                 # Admission judges pure search time, not queueing/lock wait.
                 self._admit(
@@ -685,117 +771,163 @@ class RoutingService:
                     self._record(strategy, time.perf_counter() - begin)
                     return ServedResult(cached, True, version, name, strategy)
             breaker = self._breaker(strategy)
-            remaining = deadline_at - self._clock()
-            if remaining > 0 and breaker.allow():
-                # Rung 1: the bounded primary search.  Strategies that
-                # support a time limit get the remaining budget as a
-                # cooperative limit; ones that cannot run as-is and are
-                # judged by their (always-completed) stats afterwards.
-                if engine.supports_time_limit(strategy):
-                    limit = (
-                        remaining
-                        if time_limit_seconds is None
-                        else min(remaining, time_limit_seconds)
-                    )
+            flight: _SingleFlight | None = None
+            # refundable: this request's fresh-cache miss is still on the
+            # books and must be refunded if no rung serves an answer.  A
+            # follower refunds it at join time instead (it never searches)
+            # and must not refund again on its own ladder afterwards.
+            refundable = key is not None
+            if key is not None and self.coalesce_in_flight:
+                joined, is_leader = self._join_flight(key)
+                if is_leader:
+                    flight = joined
                 else:
-                    limit = time_limit_seconds
-                compute_begin = time.perf_counter()
-                try:
-                    result = engine.route(
-                        query,
-                        strategy=strategy,
-                        time_limit_seconds=limit,
-                        **kwargs,
-                    )
-                except BaseException:
-                    if key is not None:
-                        self._cache.refund_miss()
-                    self._record(strategy, time.perf_counter() - begin)
-                    raise
-                if result is not None and result.stats.completed:
-                    # The search finished within its budget: a normal
-                    # answer, cacheable (a completed bounded search is
-                    # bit-identical to an unbounded one).
-                    breaker.record_success()
-                    if key is not None:
-                        self._admit(
-                            key,
-                            result,
-                            time.perf_counter() - compute_begin,
-                            ttl,
-                            stale_key=stale_key,
-                            version=version,
+                    # Follower: wait for the leader's answer only as long
+                    # as our own deadline allows.  A follower whose wait
+                    # times out (or whose leader abandons, or whose leader
+                    # completed with no shareable answer) walks its own
+                    # ladder with whatever budget is left — it never
+                    # blocks past its deadline.
+                    self._cache.refund_miss()
+                    refundable = False
+                    wait_for = deadline_at - self._clock()
+                    if (
+                        wait_for > 0
+                        and joined.done.wait(wait_for)
+                        and joined.outcome == "ok"
+                        and joined.result is not None
+                    ):
+                        with self._stats_lock:
+                            self._coalesced += 1
+                        self._record(strategy, time.perf_counter() - begin)
+                        return ServedResult(
+                            joined.result, False, version, name, strategy,
+                            coalesced=True,
                         )
-                    self._record(strategy, time.perf_counter() - begin)
-                    return ServedResult(result, False, version, name, strategy)
-                # The deadline bit: count the miss, feed the breaker.
-                breaker.record_failure()
-                with self._stats_lock:
-                    self._deadline_misses += 1
-                if result is not None and result.found:
-                    # Rung 1 answer: the anytime pivot — never cached (it
-                    # depends on how far the search got, not on the query).
+            try:
+                remaining = deadline_at - self._clock()
+                if remaining > 0 and breaker.allow():
+                    # Rung 1: the bounded primary search.  Strategies that
+                    # support a time limit get the remaining budget as a
+                    # cooperative limit; ones that cannot run as-is and are
+                    # judged by their (always-completed) stats afterwards.
+                    if engine.supports_time_limit(strategy):
+                        limit = (
+                            remaining
+                            if time_limit_seconds is None
+                            else min(remaining, time_limit_seconds)
+                        )
+                    else:
+                        limit = time_limit_seconds
+                    compute_begin = time.perf_counter()
+                    try:
+                        result = engine.route(
+                            query,
+                            strategy=strategy,
+                            time_limit_seconds=limit,
+                            **kwargs,
+                        )
+                    except BaseException:
+                        if refundable:
+                            self._cache.refund_miss()
+                        self._record(strategy, time.perf_counter() - begin)
+                        raise
+                    if result is not None and result.stats.completed:
+                        # The search finished within its budget: a normal
+                        # answer, cacheable (a completed bounded search is
+                        # bit-identical to an unbounded one) and shareable
+                        # with any followers waiting on this flight.
+                        breaker.record_success()
+                        if flight is not None:
+                            self._finish_flight(
+                                key, flight, outcome="ok", result=result
+                            )
+                        if key is not None:
+                            self._admit(
+                                key,
+                                result,
+                                time.perf_counter() - compute_begin,
+                                ttl,
+                                stale_key=stale_key,
+                                version=version,
+                            )
+                        self._record(strategy, time.perf_counter() - begin)
+                        return ServedResult(result, False, version, name, strategy)
+                    # The deadline bit: count the miss, feed the breaker.
+                    breaker.record_failure()
                     with self._stats_lock:
-                        self._served_degraded += 1
-                    self._record(strategy, time.perf_counter() - begin)
-                    return ServedResult(
-                        result,
-                        False,
-                        version,
-                        name,
-                        strategy,
-                        degraded=True,
-                        fallback_strategy="anytime",
+                        self._deadline_misses += 1
+                    if result is not None and result.found:
+                        # Rung 1 answer: the anytime pivot — never cached (it
+                        # depends on how far the search got, not on the query)
+                        # and never fanned out (followers have their own
+                        # deadlines and ladders).
+                        with self._stats_lock:
+                            self._served_degraded += 1
+                        self._record(strategy, time.perf_counter() - begin)
+                        return ServedResult(
+                            result,
+                            False,
+                            version,
+                            name,
+                            strategy,
+                            degraded=True,
+                            fallback_strategy="anytime",
+                        )
+                elif remaining <= 0:
+                    # The deadline expired before any search could start
+                    # (typically queue wait) — that is a deadline miss too, but
+                    # not the strategy's failure: the breaker stays untouched.
+                    with self._stats_lock:
+                        self._deadline_misses += 1
+                    return self._serve_stale(
+                        name, strategy, key if refundable else None, stale_key,
+                        begin, deadline_seconds=deadline_seconds,
                     )
-            elif remaining <= 0:
-                # The deadline expired before any search could start
-                # (typically queue wait) — that is a deadline miss too, but
-                # not the strategy's failure: the breaker stays untouched.
-                with self._stats_lock:
-                    self._deadline_misses += 1
+                # Rung 2: the deterministic fallback (skipped when it *is* the
+                # requested strategy — it just ran above).  Open breaker lands
+                # here directly: fast, bounded, good enough until the probe
+                # says the primary recovered.
+                if strategy != "expected_time":
+                    try:
+                        fallback = engine.route(query, strategy="expected_time")
+                    except BaseException:
+                        if refundable:
+                            self._cache.refund_miss()
+                        self._record(strategy, time.perf_counter() - begin)
+                        raise
+                    if fallback is not None and fallback.found:
+                        with self._stats_lock:
+                            self._served_degraded += 1
+                        self._record(strategy, time.perf_counter() - begin)
+                        return ServedResult(
+                            fallback,
+                            False,
+                            version,
+                            name,
+                            strategy,
+                            degraded=True,
+                            fallback_strategy="expected_time",
+                        )
+                    if fallback is not None and not fallback.found:
+                        # Definitive: even the deterministic fallback cannot
+                        # reach the target — no rung below can either.
+                        if refundable:
+                            self._cache.refund_miss()
+                        self._record(strategy, time.perf_counter() - begin)
+                        raise NoRouteError(
+                            f"no route from {query.source} to {query.target} "
+                            f"exists on slice {name!r}"
+                        )
                 return self._serve_stale(
-                    name, strategy, key, stale_key, begin,
-                    deadline_seconds=deadline_seconds,
+                    name, strategy, key if refundable else None, stale_key,
+                    begin, deadline_seconds=deadline_seconds,
                 )
-            # Rung 2: the deterministic fallback (skipped when it *is* the
-            # requested strategy — it just ran above).  Open breaker lands
-            # here directly: fast, bounded, good enough until the probe
-            # says the primary recovered.
-            if strategy != "expected_time":
-                try:
-                    fallback = engine.route(query, strategy="expected_time")
-                except BaseException:
-                    if key is not None:
-                        self._cache.refund_miss()
-                    self._record(strategy, time.perf_counter() - begin)
-                    raise
-                if fallback is not None and fallback.found:
-                    with self._stats_lock:
-                        self._served_degraded += 1
-                    self._record(strategy, time.perf_counter() - begin)
-                    return ServedResult(
-                        fallback,
-                        False,
-                        version,
-                        name,
-                        strategy,
-                        degraded=True,
-                        fallback_strategy="expected_time",
-                    )
-                if fallback is not None and not fallback.found:
-                    # Definitive: even the deterministic fallback cannot
-                    # reach the target — no rung below can either.
-                    if key is not None:
-                        self._cache.refund_miss()
-                    self._record(strategy, time.perf_counter() - begin)
-                    raise NoRouteError(
-                        f"no route from {query.source} to {query.target} "
-                        f"exists on slice {name!r}"
-                    )
-            return self._serve_stale(
-                name, strategy, key, stale_key, begin,
-                deadline_seconds=deadline_seconds,
-            )
+            finally:
+                # Any exit that did not hand followers a completed answer
+                # releases them to retry on their own.
+                if flight is not None and not flight.done.is_set():
+                    self._finish_flight(key, flight, outcome="abandoned")
 
     def _serve_stale(
         self,
@@ -1232,6 +1364,7 @@ class RoutingService:
                 deadline_misses=self._deadline_misses,
                 served_degraded=self._served_degraded,
                 served_stale=self._served_stale,
+                coalesced=self._coalesced,
                 breaker_trips=sum(b.trips for b in self._breakers.values()),
                 breakers={
                     name: breaker.state
@@ -1500,6 +1633,41 @@ class RoutingService:
                 f"deadline must be a number of seconds, got {deadline_seconds!r}"
             )
         return float(deadline_seconds)
+
+    def _join_flight(self, key: tuple) -> tuple[_SingleFlight, bool]:
+        """Join (or open) the in-flight search for ``key``.
+
+        Returns ``(flight, is_leader)``: the leader runs the search and
+        must finish the flight on *every* exit path; followers wait on
+        ``flight.done``.
+        """
+        with self._flights_lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = self._flights[key] = _SingleFlight()
+                return flight, True
+            return flight, False
+
+    def _finish_flight(
+        self,
+        key: tuple,
+        flight: _SingleFlight,
+        *,
+        outcome: str,
+        result: ServiceAnswer | None = None,
+    ) -> None:
+        """Settle one flight and release its followers (leader-only).
+
+        The flight is unpublished *before* ``done`` is set, so a request
+        arriving after the wake-up can only open a fresh flight — it can
+        never join a settled one and wait forever.
+        """
+        with self._flights_lock:
+            if self._flights.get(key) is flight:
+                del self._flights[key]
+        flight.outcome = outcome
+        flight.result = result
+        flight.done.set()
 
     def _breaker(self, strategy: str) -> CircuitBreaker:
         """The per-strategy circuit breaker, created on first use.

@@ -30,6 +30,7 @@ from repro.network import grid_network
 from repro.routing import RoutingEngine, RoutingQuery
 from repro.service import (
     CostUpdate,
+    FrontendClosedError,
     ReadWriteLock,
     ResultCache,
     RoutingService,
@@ -179,6 +180,44 @@ class TestEntryTTL:
         hits, misses, evictions, expirations, _ = cache.counters()
         assert (hits, misses, expirations) == (1, 1, 1)
         assert evictions == 0  # expiry is not an eviction
+
+    def test_eviction_sweeps_expired_entries_before_live_ones(self):
+        """Regression: the over-capacity sweep must drop *expired* entries
+        first — a dead TTL'd entry occupying a slot must never displace a
+        live one, and dropping it counts as an expiration, not an
+        eviction.  (Pre-fix, plain LRU order evicted live ``b`` while dead
+        ``a`` kept its slot, miscounted as an eviction.)"""
+        clock = FakeClock()
+        cache = ResultCache(max_entries=2, clock=clock)
+        cache.put("b", 1)  # immortal and live, but oldest in LRU order
+        cache.put("a", 2, ttl_seconds=5.0)  # dead once the clock passes 5
+        clock.now = 10.0
+        cache.put("c", 3)  # over capacity: the sweep must pick "a", not "b"
+        assert cache.get("b") == 1
+        assert cache.get("c") == 3
+        hits, misses, evictions, expirations, entries = cache.counters()
+        assert (hits, misses) == (2, 0)
+        assert evictions == 0  # no live entry was displaced
+        assert expirations == 1  # the dead entry, counted as what it was
+        assert entries == 2
+
+    def test_eviction_still_evicts_live_lru_after_the_expired_sweep(self):
+        """When the expired sweep alone cannot get under the bound, the
+        remaining overflow evicts live LRU entries — counted as evictions."""
+        clock = FakeClock()
+        cache = ResultCache(max_entries=2, clock=clock)
+        cache.put("old", 1)
+        cache.put("dead", 2, ttl_seconds=5.0)
+        cache.put("newer", 3)  # evicts nothing expired yet -> LRU "old" goes
+        assert cache.get("old") is None
+        clock.now = 10.0
+        cache.put("newest", 4)  # sweeps "dead"; no further eviction needed
+        assert cache.get("newer") == 3
+        assert cache.get("newest") == 4
+        _, _, evictions, expirations, entries = cache.counters()
+        assert evictions == 1  # "old", live when displaced
+        assert expirations == 1  # "dead"
+        assert entries == 2
 
     def test_per_entry_ttl_overrides_the_default(self):
         clock = FakeClock()
@@ -629,6 +668,127 @@ class TestThreadedFrontend:
     def test_invalid_worker_counts_rejected(self, world, bad):
         with pytest.raises(ValueError, match="num_workers"):
             ThreadedFrontend(fresh_service(world), num_workers=bad)
+
+    def test_submission_is_counted_before_the_request_can_complete(self, world):
+        """Regression: ``submitted`` must be bumped *before* the queue put.
+        The race window is forced deterministically: the put wrapper holds
+        submit() right after the item lands and waits for the worker to
+        finish it — a snapshot taken then showed ``completed=1,
+        submitted=0`` pre-fix."""
+        service = fresh_service(world)
+        frontend = ThreadedFrontend(service, num_workers=1).start()
+        real_put = frontend._queue.put
+        in_window = []
+
+        def lingering_put(item, *args, **kwargs):
+            real_put(item, *args, **kwargs)
+            if item is not ThreadedFrontend._STOP and not in_window:
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    counts = frontend.stats.read()
+                    if counts["completed"] >= 1:
+                        in_window.append(counts)
+                        break
+                    time.sleep(0.001)
+
+        frontend._queue.put = lingering_put
+        assert frontend.submit({"op": "stats"}).result(timeout=10)["ok"]
+        frontend.close()
+        assert in_window, "the worker never completed inside the race window"
+        assert in_window[0]["submitted"] >= in_window[0]["completed"] == 1
+
+    def test_snapshots_never_show_more_outcomes_than_submissions(self, world):
+        """Stress the ordering fix: a sampler thread reads counters while
+        4 submitters and 4 workers run flat out — *every* snapshot must
+        satisfy ``submitted >= completed + cancelled`` (interleaving-
+        independent; pre-fix the submit/complete race broke it)."""
+        service = fresh_service(world)
+        frontend = ThreadedFrontend(service, num_workers=4).start()
+        stop = threading.Event()
+        violations = []
+
+        def sampler():
+            while not stop.is_set():
+                counts = frontend.stats.read()
+                if counts["completed"] + counts["cancelled"] > counts["submitted"]:
+                    violations.append(counts)
+
+        def submitter():
+            for _ in range(150):
+                assert frontend.submit({"op": "stats"}).result(timeout=30)["ok"]
+
+        sampling = threading.Thread(target=sampler)
+        sampling.start()
+        try:
+            run_threads([submitter] * 4)
+        finally:
+            stop.set()
+            sampling.join(10.0)
+        frontend.close()
+        assert not sampling.is_alive()
+        assert violations == []
+        counts = frontend.stats.read()
+        assert counts["submitted"] == counts["completed"] == 4 * 150
+        assert counts["cancelled"] == 0
+
+    def test_map_requests_leaves_no_uncollectable_futures_on_close(self, world):
+        """Regression: a mid-list submit raising FrontendClosedError must
+        not leak the already-submitted prefix — by the time the error
+        reaches the caller, every prefix future is settled (served,
+        failed or cancelled), never forever-pending."""
+        service = fresh_service(world)
+        release_delivery = threading.Event()
+
+        def deliver(request, response):
+            release_delivery.wait(10.0)
+
+        class RecordingFrontend(ThreadedFrontend):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.issued = []
+
+            def submit(self, request):
+                future = super().submit(request)
+                self.issued.append(future)
+                return future
+
+        frontend = RecordingFrontend(
+            service, num_workers=1, max_pending=1, deliver=deliver
+        ).start()
+        outcome = {}
+
+        def mapper():
+            # 1st request occupies the worker (stuck in deliver), 2nd
+            # fills the bounded queue, 3rd blocks in the queue put —
+            # where close() catches it.
+            try:
+                frontend.map_requests([{"op": "stats"}] * 4)
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                outcome["raised"] = exc
+                outcome["undone"] = [
+                    f for f in frontend.issued if not f.done()
+                ]
+
+        mapping = threading.Thread(target=mapper)
+        mapping.start()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and frontend._queue.qsize() < 1:
+            time.sleep(0.001)
+        time.sleep(0.05)  # let the third submit block on the full queue
+        closer = threading.Thread(target=lambda: frontend.close(drain=False))
+        closer.start()
+        time.sleep(0.05)
+        release_delivery.set()
+        closer.join(10.0)
+        mapping.join(10.0)
+        assert not closer.is_alive() and not mapping.is_alive()
+        assert isinstance(outcome.get("raised"), FrontendClosedError)
+        # The contract under test: nothing in flight survives the error.
+        assert outcome["undone"] == []
+        # And the books balance: every settled outcome traces back to a
+        # counted submission.
+        counts = frontend.stats.read()
+        assert counts["completed"] + counts["cancelled"] <= counts["submitted"]
 
     def test_pool_with_live_updates_stays_snapshot_consistent(self, world):
         """The whole stack through the wire: 4 workers serving route

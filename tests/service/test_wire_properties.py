@@ -191,6 +191,7 @@ def service_stats(draw):
         deadline_misses=draw(counter),
         served_degraded=draw(counter),
         served_stale=draw(counter),
+        coalesced=draw(counter),
         breaker_trips=draw(counter),
         breakers=breakers,
         strategies=strategies,
@@ -279,8 +280,9 @@ class TestKindTaggedRoundTrips:
         st.none() | any_answer,
         st.booleans(),
         st.none() | st.sampled_from(["anytime", "expected_time", "stale_cache"]),
+        st.booleans(),
     )
-    def test_served(self, answer, cache_hit, fallback):
+    def test_served(self, answer, cache_hit, fallback, coalesced):
         served = ServedResult(
             result=answer,
             cache_hit=cache_hit,
@@ -289,6 +291,7 @@ class TestKindTaggedRoundTrips:
             strategy="pbr",
             degraded=fallback is not None,
             fallback_strategy=fallback,
+            coalesced=coalesced,
         )
         document = json_round_trip(served.to_dict())
         assert document["kind"] == "served"
@@ -311,6 +314,22 @@ class TestKindTaggedRoundTrips:
         restored = ServedResult.from_dict(document, NETWORK)
         assert restored.degraded is False
         assert restored.fallback_strategy is None
+
+    @given(st.none() | any_answer)
+    def test_served_pre_scaleout_documents_still_parse(self, answer):
+        """Documents recorded before single-flight coalescing existed must
+        keep deserialising as non-coalesced answers."""
+        served = ServedResult(
+            result=answer,
+            cache_hit=False,
+            cost_version=1,
+            slice_name="default",
+            strategy="pbr",
+        )
+        document = json_round_trip(served.to_dict())
+        del document["coalesced"]
+        restored = ServedResult.from_dict(document, NETWORK)
+        assert restored.coalesced is False
 
     @given(batch_results(), st.booleans())
     def test_served_batch(self, batch, degraded):
@@ -371,6 +390,16 @@ class TestKindTaggedRoundTrips:
         assert restored.breaker_trips == 0
         assert restored.breakers == {}
         assert restored.requests == stats.requests
+
+    @given(service_stats())
+    def test_service_stats_pre_scaleout_documents_still_parse(self, stats):
+        """Documents recorded before single-flight coalescing existed must
+        keep deserialising (zero coalesced requests)."""
+        document = json_round_trip(stats.to_dict())
+        del document["coalesced"]
+        restored = ServiceStats.from_dict(document)
+        assert restored.coalesced == 0
+        assert restored.served_stale == stats.served_stale
 
     @given(schedules())
     def test_schedule(self, schedule):
