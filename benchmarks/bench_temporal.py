@@ -1,0 +1,236 @@
+"""Time-varying serving: shared depart_when search, incident correctness.
+
+Two guarantees are locked in here, on a three-regime temporal profile
+derived from the small preset's learned cost table (peak scaled up,
+night scaled down — the time-of-day shape of Figure 1):
+
+* **shared-frontier floor** — answering a ``WINDOW_DEPARTURES``-departure
+  arrive-by window through :meth:`RoutingService.depart_when` (one
+  multi-budget search per temporal regime) must be at least
+  ``SHARED_SPEEDUP_FLOOR``x faster than the brute-force alternative: one
+  independent ``route_at`` per departure.  Every per-departure answer
+  must still match the brute-force one (path and probability — the
+  multi-budget parity contract);
+* **incident identity** — after :meth:`RoutingService.advance_clock`
+  activates a scheduled closure, every served answer must be bit-equal
+  to a cold engine built directly on the incident-applied table, and
+  after the incident clears, bit-equal to a cold engine that never saw
+  it (the acceptance contract for the temporal layer).
+
+The CI workflow records this file's timings as ``BENCH_temporal.json``.
+"""
+
+import time
+
+import pytest
+
+from repro.histograms.operations import scale_values
+from repro.routing import RoutingQuery, budget_ticks_for_departure
+from repro.routing.engine import RoutingEngine
+from repro.core import ConvolutionModel
+from repro.service import (
+    RoutingService,
+    ScenarioSchedule,
+    ScheduledIncident,
+    TemporalCostProfile,
+)
+
+from conftest import emit
+
+#: Minimum speedup of one depart_when call over per-departure route_at.
+SHARED_SPEEDUP_FLOOR = 2.0
+
+#: Departures per arrive-by window (all within one regime, so the whole
+#: window is one shared search against WINDOW_DEPARTURES independent ones).
+WINDOW_DEPARTURES = 8
+
+#: Tick spread between consecutive departure budgets (distinct budgets →
+#: distinct cache keys, so the brute-force side cannot cache-hit).
+BUDGET_STEP = 2
+
+#: Timed passes over the whole workload (best-of, like the other benches).
+ROUNDS = 3
+
+#: Cost multipliers defining the temporal shape.
+PEAK_SCALE = 1.4
+NIGHT_SCALE = 0.8
+
+
+def _slice_tables(engine):
+    """Three anchor tables scaled from the trained base (off_peak = base)."""
+    base = engine.combiner.costs
+    tables = {"off_peak": base.copy()}
+    for name, factor in (("peak", PEAK_SCALE), ("night", NIGHT_SCALE)):
+        table = base.copy()
+        table.apply_deltas(
+            {
+                edge.id: scale_values(base.cost(edge), factor)
+                for edge in engine.network.edges
+                if base.has_observed_cost(edge.id)
+            }
+        )
+        tables[name] = table
+    return tables
+
+
+def _profile_service(engine):
+    tables = _slice_tables(engine)
+    profile = TemporalCostProfile(ScenarioSchedule.default(), tables)
+    return RoutingService.from_temporal_profile(engine.network, profile)
+
+
+def _window(query, resolution):
+    """An arrive-by window inside peak with distinct per-departure budgets."""
+    arrive_by = 8.0 * 3600.0
+    budgets = [
+        query.budget + i * BUDGET_STEP for i in range(WINDOW_DEPARTURES)
+    ]
+    departures = [arrive_by - b * resolution for b in reversed(budgets)]
+    return departures, arrive_by
+
+
+def test_depart_when_beats_per_departure_sweeps(benchmark, runner):
+    """The shared-frontier floor: one search per regime, not per departure."""
+    engine = runner.engine("convolution")
+    resolution = engine.resolution
+    queries = [
+        banded.query for members in runner.workload.values() for banded in members
+    ]
+
+    shared_service = _profile_service(engine)
+    brute_service = _profile_service(engine)
+    timings = {}
+
+    def run_both():
+        shared = float("inf")
+        brute = float("inf")
+        answers = []
+        for _ in range(ROUNDS):
+            begin = time.perf_counter()
+            round_answers = [
+                shared_service.depart_when(
+                    q.source,
+                    q.target,
+                    _window(q, resolution)[0],
+                    arrive_by_seconds=_window(q, resolution)[1],
+                    cache_ttl_seconds=1e-9,
+                )
+                for q in queries
+            ]
+            shared = min(shared, time.perf_counter() - begin)
+            answers = round_answers
+
+            begin = time.perf_counter()
+            for q in queries:
+                departures, arrive_by = _window(q, resolution)
+                for departure in departures:
+                    budget = budget_ticks_for_departure(
+                        departure, arrive_by, resolution
+                    )
+                    brute_service.route_at(
+                        RoutingQuery(q.source, q.target, budget),
+                        departure,
+                        cache_ttl_seconds=1e-9,
+                    )
+            brute = min(brute, time.perf_counter() - begin)
+        timings.update(shared=shared, brute=brute, answers=answers)
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    # Identity: every per-departure entry matches its brute-force answer.
+    for q, served in zip(queries, timings["answers"]):
+        for departure, budget, entry in served.result.items():
+            reference = brute_service.route_at(
+                RoutingQuery(q.source, q.target, budget), departure
+            ).result
+            assert entry.found == reference.found
+            assert [e.id for e in entry.path] == [e.id for e in reference.path]
+            assert entry.probability == pytest.approx(
+                reference.probability, abs=1e-9
+            )
+
+    speedup = timings["brute"] / timings["shared"]
+    searches = len(queries) * WINDOW_DEPARTURES
+    emit(
+        f"depart_when shared frontier ({len(queries)} OD windows x "
+        f"{WINDOW_DEPARTURES} departures, arrive-by mode)",
+        f"shared: {len(queries)} searches in {timings['shared'] * 1e3:7.1f} ms"
+        f" | brute force: {searches} searches in "
+        f"{timings['brute'] * 1e3:7.1f} ms | speedup {speedup:.1f}x",
+    )
+    assert speedup >= SHARED_SPEEDUP_FLOOR, (
+        f"depart_when must amortise the frontier: {speedup:.2f}x < "
+        f"{SHARED_SPEEDUP_FLOOR}x"
+    )
+
+
+def test_incident_answers_match_cold_engines(benchmark, runner):
+    """The incident-identity floor: activation and clearing both serve
+    answers bit-equal to cold engines built on the equivalent tables."""
+    engine = runner.engine("convolution")
+    network = engine.network
+    queries = [
+        banded.query for members in runner.workload.values() for banded in members
+    ]
+    service = _profile_service(engine)
+
+    # Close the two most-travelled edges of the peak workload answers.
+    counts = {}
+    for q in queries:
+        for edge in service.route(q, slice_name="peak").result.path:
+            counts[edge.id] = counts.get(edge.id, 0) + 1
+    closed = sorted(counts, key=counts.get, reverse=True)[:2]
+    incident = ScheduledIncident.closure(
+        "bench", closed, 7.0 * 3600.0, 9.0 * 3600.0, slices=["peak"]
+    )
+
+    peak_before = service.engine("peak").combiner.costs.copy()
+    with_incident = peak_before.copy()
+    with_incident.apply_deltas(
+        incident.effective_costs(
+            {e: peak_before.cost(network.edge(e)) for e in closed}
+        )
+    )
+    cold_during = RoutingEngine(network, ConvolutionModel(with_incident))
+    cold_after = RoutingEngine(network, ConvolutionModel(peak_before))
+
+    service.schedule_incident(incident)
+    timings = {}
+
+    def lifecycle():
+        begin = time.perf_counter()
+        activated = service.advance_clock(7.5 * 3600.0)
+        timings["activate"] = time.perf_counter() - begin
+        assert activated[0]["event"] == "activated"
+        during = [service.route(q, slice_name="peak") for q in queries]
+        begin = time.perf_counter()
+        cleared = service.advance_clock(9.0 * 3600.0)
+        timings["clear"] = time.perf_counter() - begin
+        assert cleared[0]["event"] == "cleared"
+        after = [service.route(q, slice_name="peak") for q in queries]
+        timings.update(during=during, after=after)
+
+    benchmark.pedantic(lifecycle, rounds=1, iterations=1)
+
+    mismatches = 0
+    for q, during, after in zip(queries, timings["during"], timings["after"]):
+        for served, cold in ((during, cold_during), (after, cold_after)):
+            reference = cold.route(q)
+            same = (
+                served.result.found == reference.found
+                and [e.id for e in served.result.path]
+                == [e.id for e in reference.path]
+                and served.result.probability == reference.probability
+                and served.result.distribution == reference.distribution
+            )
+            mismatches += not same
+    emit(
+        f"Incident lifecycle identity ({len(queries)} queries, "
+        f"{len(closed)} closed edges)",
+        f"activate {timings['activate'] * 1e6:6.0f} us | clear "
+        f"{timings['clear'] * 1e6:6.0f} us | mismatches vs cold engines: "
+        f"{mismatches}",
+    )
+    assert mismatches == 0, (
+        f"{mismatches} served answers diverged from the cold engines"
+    )

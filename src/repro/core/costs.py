@@ -8,6 +8,7 @@ routes over the full network, not just the observed edges).
 
 from __future__ import annotations
 
+import math
 import numbers
 from typing import Any, Mapping
 
@@ -232,6 +233,85 @@ class EdgeCostTable:
         clone = EdgeCostTable(self.network, resolution=self.resolution)
         clone._versioned = (dict(self._table), 0)
         return clone
+
+    @classmethod
+    def interpolate(
+        cls, left: "EdgeCostTable", right: "EdgeCostTable", weight: float
+    ) -> "EdgeCostTable":
+        """A table blending two anchors: ``(1 - weight)·left + weight·right``.
+
+        This is the temporal-profile building block: a departure inside a
+        transition band between two time-of-day slices routes over a
+        *mixture* of the adjacent anchor histograms rather than jumping
+        discontinuously at the boundary second.  Only edges observed in at
+        least one anchor get a mixed histogram — an edge unobserved in both
+        falls back to the same free-flow point mass in every table, so
+        mixing it would change nothing but memory.  The blend is installed
+        through one :meth:`apply_deltas` batch, so the result starts at
+        version 1 like a freshly built slice table.
+        """
+        from ..histograms.operations import mixture
+
+        if left.network is not right.network:
+            raise ValueError("anchor tables must share one network")
+        if left.resolution != right.resolution:
+            raise ValueError(
+                f"anchor resolutions differ: {left.resolution} vs {right.resolution}"
+            )
+        w = float(weight)
+        if not 0.0 <= w <= 1.0 or not math.isfinite(w):
+            raise ValueError(f"interpolation weight must be in [0, 1], got {weight!r}")
+        table = cls(left.network, resolution=left.resolution)
+        edge_ids = set(left._table) | set(right._table)
+        if not edge_ids:
+            return table
+        blended: dict[int, DiscreteDistribution] = {}
+        for edge_id in edge_ids:
+            edge = left.network.edge(edge_id)
+            a, b = left.cost(edge), right.cost(edge)
+            if a is b:
+                blended[edge_id] = a
+            else:
+                blended[edge_id] = mixture((a, b), (1.0 - w, w))
+        table.apply_deltas(blended)
+        return table
+
+    def with_delays(
+        self, delays: Mapping[int, DiscreteDistribution]
+    ) -> "EdgeCostTable":
+        """A new table whose listed edges carry an extra additive delay.
+
+        Each ``delays[edge_id]`` distribution is convolved onto the edge's
+        current cost (observed or free-flow fallback) — the shape signal
+        time plans need: the edge's travel time plus an independent wait at
+        the downstream intersection.  Delay supports must be non-negative
+        (a "delay" that sped an edge up would break the optimistic
+        heuristic's lower bounds).  The result is an independent table at
+        version 1; ``self`` is untouched.
+        """
+        table = EdgeCostTable(self.network, resolution=self.resolution)
+        table._versioned = (dict(self._table), 0)
+        if not delays:
+            table._versioned = (table._table, 1)
+            return table
+        delayed: dict[int, DiscreteDistribution] = {}
+        for edge_id, delay in delays.items():
+            self._check_edge_id(edge_id)
+            if not isinstance(delay, DiscreteDistribution):
+                raise TypeError(
+                    f"edge {edge_id}: delay must be a DiscreteDistribution, "
+                    f"got {type(delay).__name__}"
+                )
+            if delay.min_value < 0:
+                raise ValueError(
+                    f"edge {edge_id}: delay support must be non-negative, "
+                    f"min is {delay.min_value}"
+                )
+            delayed[int(edge_id)] = self.cost(self.network.edge(int(edge_id))).convolve(
+                delay
+            )
+        table.apply_deltas(delayed)
+        return table
 
     def has_observed_cost(self, edge_id: int) -> bool:
         """True when the edge has a corpus-derived histogram."""

@@ -47,11 +47,15 @@ _FORMAT_VERSION = 1
 #: :meth:`repro.service.RoutingService.snapshot` stamps into documents
 #: (the service module keeps its own copy to avoid importing this module's
 #: heavyweight model-persistence dependencies on the request path).
-_SERVICE_SNAPSHOT_FORMAT = 1
+_SERVICE_SNAPSHOT_FORMAT = 2
+
+#: Formats this build can still read (format 1 predates the temporal
+#: section; the service restores it with incident state reset).
+_ACCEPTED_SNAPSHOT_FORMATS = frozenset({1, 2})
 
 
 def _check_service_snapshot(document: Mapping[str, Any]) -> None:
-    """Reject anything that is not a current-format service snapshot."""
+    """Reject anything that is not a readable-format service snapshot."""
     if not isinstance(document, Mapping):
         raise ValueError("a service snapshot must be a JSON object")
     if document.get("kind") != "service_snapshot":
@@ -59,11 +63,11 @@ def _check_service_snapshot(document: Mapping[str, Any]) -> None:
             "expected a service_snapshot document, got "
             f"kind={document.get('kind')!r}"
         )
-    if document.get("format_version") != _SERVICE_SNAPSHOT_FORMAT:
+    if document.get("format_version") not in _ACCEPTED_SNAPSHOT_FORMATS:
         raise ValueError(
             "unsupported service snapshot format: "
             f"{document.get('format_version')!r} "
-            f"(this build reads format {_SERVICE_SNAPSHOT_FORMAT})"
+            f"(this build reads formats {sorted(_ACCEPTED_SNAPSHOT_FORMATS)})"
         )
 
 

@@ -21,18 +21,22 @@ from .engine import (
 from .heuristics import OptimisticHeuristic, clear_heuristic_cache
 from .query import (
     MAX_BUDGET_TICKS,
+    DepartWhenResult,
     KBestResult,
     MultiBudgetResult,
     RoutingQuery,
     RoutingResult,
     SearchStats,
+    budget_ticks_for_departure,
     normalize_budgets,
+    normalize_departures,
     result_from_dict,
 )
 
 __all__ = [
     "AnytimePoint",
     "BatchResult",
+    "DepartWhenResult",
     "KBestResult",
     "MAX_BUDGET_TICKS",
     "MultiBudgetResult",
@@ -45,10 +49,12 @@ __all__ = [
     "SearchStats",
     "all_simple_paths",
     "available_strategies",
+    "budget_ticks_for_departure",
     "clear_heuristic_cache",
     "exhaustive_best_path",
     "expected_time_path",
     "normalize_budgets",
+    "normalize_departures",
     "register_strategy",
     "result_from_dict",
 ]

@@ -53,12 +53,15 @@ from .baselines import exhaustive_best_path, expected_time_path
 from .budget import PruningConfig, _BudgetSearch
 from .heuristics import OptimisticHeuristic
 from .query import (
+    DepartWhenResult,
     KBestResult,
     MultiBudgetResult,
     RoutingQuery,
     RoutingResult,
     SearchStats,
+    budget_ticks_for_departure,
     normalize_budgets,
+    normalize_departures,
     result_from_dict,
 )
 
@@ -74,7 +77,9 @@ __all__ = [
 #: to answer (e.g. its wall-clock limit expired before it had anything) —
 #: distinct from a ``RoutingResult`` with ``found == False``, which is a
 #: definitive "no route exists".
-StrategyAnswer = RoutingResult | MultiBudgetResult | KBestResult | None
+StrategyAnswer = (
+    RoutingResult | MultiBudgetResult | KBestResult | DepartWhenResult | None
+)
 
 
 # ----------------------------------------------------------------------
@@ -290,6 +295,98 @@ class KBestStrategy(RoutingStrategy):
             int(k),
             time_limit_seconds=self.check_time_limit(time_limit_seconds),
             heuristic=heuristic,
+        )
+
+
+@register_strategy("depart_when")
+class DepartWhenStrategy(RoutingStrategy):
+    """Best budget-reliability over a departure window ("leave when?").
+
+    Pass the candidate departures as ``departure_times=<seconds vector>``.
+    Two modes:
+
+    - **arrive-by** (``arrive_by_seconds=``): each departure's budget is
+      the wall-clock window left until the deadline, floored onto the
+      grid.  A later departure is just a smaller budget against the same
+      cost table, so *one* shared multi-budget label search answers the
+      whole window (``query.budget`` must equal the largest feasible
+      budget; use :meth:`RoutingEngine.route_depart_when` to build both
+      consistently).  Departures at or past the deadline are reported
+      infeasible, not errors.
+    - **fixed-budget** (no ``arrive_by_seconds``): every departure shares
+      ``query.budget`` — the "any time in this window, same trip length"
+      question.  Against one table all entries coincide; the mode earns
+      its keep at the service layer, where each temporal regime in the
+      window contributes its own table.
+    """
+
+    supports_time_limit = True
+
+    def route(
+        self,
+        engine: "RoutingEngine",
+        query: RoutingQuery,
+        *,
+        time_limit_seconds: float | None = None,
+        departure_times: Iterable[float] | None = None,
+        arrive_by_seconds: float | None = None,
+        heuristic: OptimisticHeuristic | None = None,
+    ) -> DepartWhenResult:
+        if departure_times is None:
+            raise ValueError(
+                "the 'depart_when' strategy requires "
+                "departure_times=<seconds vector>"
+            )
+        departures = normalize_departures(departure_times)
+        limit = self.check_time_limit(time_limit_seconds)
+        if arrive_by_seconds is None:
+            budgets = (query.budget,) * len(departures)
+        else:
+            if (
+                isinstance(arrive_by_seconds, bool)
+                or not isinstance(arrive_by_seconds, numbers.Real)
+                or not math.isfinite(arrive_by_seconds)
+            ):
+                raise ValueError(
+                    f"arrive_by_seconds must be a finite number, got "
+                    f"{arrive_by_seconds!r}"
+                )
+            budgets = tuple(
+                budget_ticks_for_departure(
+                    departure, arrive_by_seconds, engine.resolution
+                )
+                for departure in departures
+            )
+        feasible = sorted({b for b in budgets if b >= 1})
+        if not feasible:
+            raise ValueError(
+                "every departure is at or past arrive_by_seconds; "
+                "nothing to search"
+            )
+        if feasible[-1] != query.budget:
+            raise ValueError(
+                "query.budget must equal the largest feasible departure "
+                "budget; use RoutingEngine.route_depart_when to build both "
+                "consistently"
+            )
+        multi = engine._search.route_multi_budget(
+            query,
+            tuple(feasible),
+            time_limit_seconds=limit,
+            heuristic=heuristic,
+        )
+        results = tuple(
+            multi.best_for(budget) if budget >= 1 else None for budget in budgets
+        )
+        return DepartWhenResult(
+            query=query,
+            departures=departures,
+            budgets=budgets,
+            results=results,
+            arrive_by_seconds=(
+                None if arrive_by_seconds is None else float(arrive_by_seconds)
+            ),
+            stats=multi.stats,
         )
 
 
@@ -645,6 +742,67 @@ class RoutingEngine:
         """The top-``k`` non-dominated routes for ``query``, best first."""
         return self.route(
             query, strategy="kbest", k=k, time_limit_seconds=time_limit_seconds
+        )
+
+    def route_depart_when(
+        self,
+        source: int,
+        target: int,
+        departure_times: Iterable[float],
+        *,
+        budget: int | None = None,
+        arrive_by_seconds: float | None = None,
+        time_limit_seconds: float | None = None,
+    ) -> DepartWhenResult:
+        """Best budget-reliability over a departure window, in one search.
+
+        Exactly one of ``budget`` (every departure gets the same tick
+        budget) or ``arrive_by_seconds`` (each departure's budget is the
+        remaining wall-clock window, floored onto the grid) must be given.
+        One shared multi-budget label search answers every feasible
+        departure; departures at or past the deadline come back infeasible
+        (budget 0, ``None`` result).  Raises when *no* departure is
+        feasible — an empty search would answer nothing.
+        """
+        if (budget is None) == (arrive_by_seconds is None):
+            raise ValueError(
+                "pass exactly one of budget= or arrive_by_seconds="
+            )
+        departures = normalize_departures(departure_times)
+        if budget is not None:
+            query = RoutingQuery(source, target, budget)
+        else:
+            if (
+                isinstance(arrive_by_seconds, bool)
+                or not isinstance(arrive_by_seconds, numbers.Real)
+                or not math.isfinite(arrive_by_seconds)
+            ):
+                raise ValueError(
+                    f"arrive_by_seconds must be a finite number, got "
+                    f"{arrive_by_seconds!r}"
+                )
+            feasible = [
+                ticks
+                for departure in departures
+                if (
+                    ticks := budget_ticks_for_departure(
+                        departure, arrive_by_seconds, self.resolution
+                    )
+                )
+                >= 1
+            ]
+            if not feasible:
+                raise ValueError(
+                    "every departure is at or past arrive_by_seconds; "
+                    "nothing to search"
+                )
+            query = RoutingQuery(source, target, max(feasible))
+        return self.route(
+            query,
+            strategy="depart_when",
+            departure_times=departures,
+            arrive_by_seconds=arrive_by_seconds,
+            time_limit_seconds=time_limit_seconds,
         )
 
     def route_many(

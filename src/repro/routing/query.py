@@ -29,7 +29,10 @@ __all__ = [
     "RoutingResult",
     "MultiBudgetResult",
     "KBestResult",
+    "DepartWhenResult",
+    "budget_ticks_for_departure",
     "normalize_budgets",
+    "normalize_departures",
     "result_from_dict",
 ]
 
@@ -167,6 +170,51 @@ def normalize_budgets(budgets: Iterable[Any]) -> tuple[int, ...]:
                 "unit-aware construction"
             )
     return tuple(sorted(set(values)))
+
+
+def normalize_departures(departure_times: Iterable[Any]) -> tuple[float, ...]:
+    """Validate a departure window into an ascending, de-duplicated tuple.
+
+    Departure times are wall-clock seconds (service-clock or seconds of
+    day — the caller's axis); every member must be a finite real number.
+    """
+    if isinstance(departure_times, (str, bytes)):
+        raise TypeError("departure_times must be a sequence of seconds values")
+    values = []
+    for value in departure_times:
+        if (
+            isinstance(value, bool)
+            or not isinstance(value, numbers.Real)
+            or not math.isfinite(value)
+        ):
+            raise ValueError(
+                f"departure times must be finite numbers, got {value!r}"
+            )
+        values.append(float(value))
+    if not values:
+        raise ValueError("departure_times must contain at least one time")
+    return tuple(sorted(set(values)))
+
+
+def budget_ticks_for_departure(
+    departure_seconds: float, arrive_by_seconds: float, resolution: float
+) -> int:
+    """Tick budget for leaving at ``departure_seconds`` to arrive by
+    ``arrive_by_seconds``.
+
+    The remaining wall-clock window is floored onto the distribution grid
+    with the same ``(1 + 1e-9)`` slack as :meth:`RoutingQuery.from_seconds`
+    (``P(cost <= budget)`` must never credit time beyond the deadline).
+    Returns 0 when the departure leaves no representable budget — the
+    departure is infeasible, not an error.
+    """
+    if resolution <= 0:
+        raise ValueError("resolution must be positive seconds per tick")
+    window = float(arrive_by_seconds) - float(departure_seconds)
+    if window <= 0:
+        return 0
+    ticks = int(math.floor(window / float(resolution) * (1 + 1e-9)))
+    return max(0, ticks)
 
 
 @dataclass
@@ -437,9 +485,162 @@ class KBestResult:
         )
 
 
+@dataclass(frozen=True)
+class DepartWhenResult:
+    """Best budget-reliability over a departure window ("leave when?").
+
+    One entry per candidate departure time: ``results[i]`` is the best
+    route when leaving at ``departures[i]`` with ``budgets[i]`` ticks of
+    budget (0 budget marks an infeasible departure — at or past the
+    arrival deadline — and pairs with a ``None`` result).  All feasible
+    entries are answered by **one** shared label search
+    (:meth:`~repro.routing.engine.RoutingEngine.route_multi_budget` under
+    the hood): in arrive-by mode a later departure is just a smaller
+    budget against the same cost table, so the Pareto frontier work is
+    shared across the whole window.  ``query`` carries the largest
+    feasible budget; ``stats`` describes the one shared search.
+    """
+
+    query: RoutingQuery
+    departures: tuple[float, ...]
+    budgets: tuple[int, ...]
+    results: tuple[RoutingResult | None, ...]
+    arrive_by_seconds: float | None = None
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __post_init__(self) -> None:
+        if not self.departures:
+            raise ValueError("a depart_when answer needs at least one departure")
+        if not (len(self.departures) == len(self.budgets) == len(self.results)):
+            raise ValueError("departures, budgets and results must align")
+        if any(b <= a for a, b in zip(self.departures, self.departures[1:])):
+            raise ValueError("departures must be strictly ascending")
+        for budget, result in zip(self.budgets, self.results):
+            if (budget == 0) != (result is None):
+                raise ValueError(
+                    "infeasible departures (budget 0) pair with None results"
+                )
+
+    def __len__(self) -> int:
+        return len(self.departures)
+
+    def items(self) -> Iterator[tuple[float, int, RoutingResult | None]]:
+        """``(departure, budget, result)`` triples in departure order."""
+        return zip(self.departures, self.budgets, self.results)
+
+    @property
+    def found(self) -> bool:
+        """True when at least one departure has a route."""
+        return any(r is not None and r.found for r in self.results)
+
+    @property
+    def probabilities(self) -> tuple[float, ...]:
+        """Per-departure arrival probabilities (0.0 for infeasible ones)."""
+        return tuple(
+            0.0 if r is None else r.probability for r in self.results
+        )
+
+    @property
+    def best_index(self) -> int | None:
+        """Index of the best departure, or ``None`` when nothing routes.
+
+        Highest arrival probability wins; exact ties go to the *latest*
+        departure — leaving later for the same reliability strictly
+        dominates under an arrive-by deadline (and is a harmless
+        deterministic pick in fixed-budget mode).
+        """
+        best = None
+        for index, result in enumerate(self.results):
+            if result is None or not result.found:
+                continue
+            if best is None or result.probability >= self.results[best].probability:
+                best = index
+        return best
+
+    @property
+    def best(self) -> RoutingResult | None:
+        """The best departure's route, or ``None`` when nothing routes."""
+        index = self.best_index
+        return None if index is None else self.results[index]
+
+    @property
+    def best_departure(self) -> float | None:
+        """The best departure time in seconds, or ``None``."""
+        index = self.best_index
+        return None if index is None else self.departures[index]
+
+    @classmethod
+    def merge(cls, parts: "Iterable[DepartWhenResult]") -> "DepartWhenResult":
+        """Combine window fragments answered separately into one result.
+
+        The serving layer splits a window by temporal regime (each
+        fragment searches its own cost table) and merges the fragments
+        back; all parts must agree on source/target and arrive-by
+        deadline, and their departure sets must not overlap.  The merged
+        ``query`` carries the largest member budget; stats aggregate.
+        """
+        members = sorted(parts, key=lambda p: p.departures[0])
+        if not members:
+            raise ValueError("merge needs at least one part")
+        first = members[0]
+        pairs = {(p.query.source, p.query.target) for p in members}
+        if len(pairs) > 1:
+            raise ValueError("cannot merge answers for different OD pairs")
+        if len({p.arrive_by_seconds for p in members}) > 1:
+            raise ValueError("cannot merge answers with different deadlines")
+        triples = [t for p in members for t in p.items()]
+        triples.sort(key=lambda t: t[0])
+        departures = tuple(t[0] for t in triples)
+        if any(b <= a for a, b in zip(departures, departures[1:])):
+            raise ValueError("merged parts must cover disjoint departures")
+        query = max((p.query for p in members), key=lambda q: q.budget)
+        return cls(
+            query=query,
+            departures=departures,
+            budgets=tuple(t[1] for t in triples),
+            results=tuple(t[2] for t in triples),
+            arrive_by_seconds=first.arrive_by_seconds,
+            stats=SearchStats.aggregate(p.stats for p in members),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (see :func:`result_from_dict`)."""
+        return {
+            "kind": "depart_when",
+            "query": self.query.to_dict(),
+            "departures": list(self.departures),
+            "budgets": list(self.budgets),
+            "results": [
+                None if r is None else r.to_dict() for r in self.results
+            ],
+            "arrive_by_seconds": self.arrive_by_seconds,
+            "best_index": self.best_index,
+            "best_departure": self.best_departure,
+            "found": self.found,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], network: RoadNetwork
+    ) -> "DepartWhenResult":
+        arrive_by = data.get("arrive_by_seconds")
+        return cls(
+            query=RoutingQuery.from_dict(data["query"]),
+            departures=tuple(float(t) for t in data["departures"]),
+            budgets=tuple(int(b) for b in data["budgets"]),
+            results=tuple(
+                None if item is None else RoutingResult.from_dict(item, network)
+                for item in data["results"]
+            ),
+            arrive_by_seconds=None if arrive_by is None else float(arrive_by),
+            stats=SearchStats.from_dict(data.get("stats", {})),
+        )
+
+
 def result_from_dict(
     data: Mapping[str, Any], network: RoadNetwork
-) -> "RoutingResult | MultiBudgetResult | KBestResult | Any":
+) -> "RoutingResult | MultiBudgetResult | KBestResult | DepartWhenResult | Any":
     """Rebuild any serialised routing answer by its ``kind`` tag.
 
     Payloads without a tag are treated as plain :class:`RoutingResult`
@@ -452,6 +653,8 @@ def result_from_dict(
         return MultiBudgetResult.from_dict(data, network)
     if kind == "kbest":
         return KBestResult.from_dict(data, network)
+    if kind == "depart_when":
+        return DepartWhenResult.from_dict(data, network)
     if kind == "route":
         return RoutingResult.from_dict(data, network)
     if kind == "batch":

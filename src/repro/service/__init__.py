@@ -31,8 +31,19 @@ N identical in-flight misses run one search, counted under
 ``stats().coalesced``), and demand-driven cache warming
 (:class:`DemandMatrix` + :class:`CacheWarmer`: the hottest OD pairs are
 replayed after each cost hot-swap so a version bump does not crater the
-hit rate).  See PERFORMANCE.md ("Serving layer", "Concurrent serving",
-"Resilient serving" and "Scale-out serving") for the design.
+hit rate).
+
+The time-varying layer makes the temporal axis first class:
+:class:`TemporalCostProfile` compiles per-edge time-of-day cost profiles
+(anchor slices, interpolated transition bands, :class:`TimePlan` signal
+delays) down to the same slice/schedule primitives the service already
+serves; :class:`ScheduledIncident` + :meth:`RoutingService.advance_clock`
+activate closures and capacity drops on a clock and revert them
+bit-identically; and :meth:`RoutingService.depart_when` answers "when
+should I leave?" over a departure window with one shared multi-budget
+search per temporal regime.  See PERFORMANCE.md ("Serving layer",
+"Concurrent serving", "Resilient serving", "Scale-out serving" and
+"Time-varying networks") for the design.
 """
 
 from .cache import ResultCache, freeze_kwargs
@@ -55,10 +66,13 @@ from .scenarios import (
     DAY_SECONDS,
     DEFAULT_SLICE_WEIGHTS,
     ScenarioSchedule,
+    TemporalCostProfile,
+    TimePlan,
     TimeSlice,
     time_sliced_cost_tables,
 )
 from .service import (
+    ACCEPTED_SNAPSHOT_FORMATS,
     DEFAULT_SLICE,
     SERVICE_SNAPSHOT_FORMAT,
     RoutingService,
@@ -68,10 +82,12 @@ from .service import (
     StrategyLatency,
 )
 from .sync import ReadWriteLock
-from .updates import CostUpdate
+from .updates import CLOSURE_TICKS, CostUpdate, ScheduledIncident
 
 __all__ = [
+    "ACCEPTED_SNAPSHOT_FORMATS",
     "AsyncFrontend",
+    "CLOSURE_TICKS",
     "CacheWarmer",
     "CircuitBreaker",
     "CostUpdate",
@@ -91,11 +107,14 @@ __all__ = [
     "RoutingService",
     "SERVICE_SNAPSHOT_FORMAT",
     "ScenarioSchedule",
+    "ScheduledIncident",
     "ServedBatch",
     "ServedResult",
     "ServiceStats",
     "StrategyLatency",
+    "TemporalCostProfile",
     "ThreadedFrontend",
+    "TimePlan",
     "TimeSlice",
     "WarmerStats",
     "charge_queue_wait",

@@ -40,6 +40,7 @@ from ..histograms import DiscreteDistribution
 from ..network import RoadNetwork
 from ..routing import (
     BatchResult,
+    DepartWhenResult,
     KBestResult,
     MultiBudgetResult,
     PruningConfig,
@@ -47,16 +48,24 @@ from ..routing import (
     RoutingQuery,
     RoutingResult,
     SearchStats,
+    budget_ticks_for_departure,
+    normalize_departures,
     result_from_dict,
 )
 from .cache import ResultCache, check_ttl_seconds, freeze_kwargs
 from .errors import DeadlineExceededError, NoRouteError, error_kind
 from .faults import CircuitBreaker
-from .scenarios import ScenarioSchedule
+from .scenarios import (
+    ScenarioSchedule,
+    TemporalCostProfile,
+    _distribution_from_payload,
+    _distribution_to_payload,
+)
 from .sync import ReadWriteLock
-from .updates import CostUpdate
+from .updates import CostUpdate, ScheduledIncident
 
 __all__ = [
+    "ACCEPTED_SNAPSHOT_FORMATS",
     "DEFAULT_SLICE",
     "SERVICE_SNAPSHOT_FORMAT",
     "RoutingService",
@@ -73,10 +82,16 @@ DEFAULT_SLICE = "default"
 #: Kept in sync with ``repro.core.persistence._SERVICE_SNAPSHOT_FORMAT``
 #: (duplicated, not imported: persistence pulls the whole model-training
 #: dependency chain, which has no business on the serving path).
-SERVICE_SNAPSHOT_FORMAT = 1
+#: Format 2 added the ``temporal`` section (incident clock, pending and
+#: active incidents, temporal-profile spec); format-1 documents are still
+#: accepted by :meth:`RoutingService.restore` with temporal state reset.
+SERVICE_SNAPSHOT_FORMAT = 2
+
+#: Snapshot format versions :meth:`RoutingService.restore` accepts.
+ACCEPTED_SNAPSHOT_FORMATS = frozenset({1, 2})
 
 #: Any single-query answer the service can serve.
-ServiceAnswer = RoutingResult | MultiBudgetResult | KBestResult
+ServiceAnswer = RoutingResult | MultiBudgetResult | KBestResult | DepartWhenResult
 
 
 def _encode_key_part(value: Any) -> dict[str, Any]:
@@ -289,6 +304,10 @@ class ServiceStats:
     served_stale: int = 0
     coalesced: int = 0
     breaker_trips: int = 0
+    incidents_activated: int = 0
+    incidents_cleared: int = 0
+    incidents_pending: int = 0
+    incidents_active: int = 0
     breakers: dict[str, str] = field(default_factory=dict)
     strategies: dict[str, StrategyLatency] = field(default_factory=dict)
 
@@ -314,6 +333,10 @@ class ServiceStats:
             "served_stale": self.served_stale,
             "coalesced": self.coalesced,
             "breaker_trips": self.breaker_trips,
+            "incidents_activated": self.incidents_activated,
+            "incidents_cleared": self.incidents_cleared,
+            "incidents_pending": self.incidents_pending,
+            "incidents_active": self.incidents_active,
             "breakers": dict(sorted(self.breakers.items())),
             "hit_rate": self.hit_rate,
             "strategies": {
@@ -342,6 +365,11 @@ class ServiceStats:
             # Absent in pre-scaleout documents: no coalescing happened.
             coalesced=int(data.get("coalesced", 0)),
             breaker_trips=int(data.get("breaker_trips", 0)),
+            # Absent in pre-temporal documents: no incidents existed.
+            incidents_activated=int(data.get("incidents_activated", 0)),
+            incidents_cleared=int(data.get("incidents_cleared", 0)),
+            incidents_pending=int(data.get("incidents_pending", 0)),
+            incidents_active=int(data.get("incidents_active", 0)),
             breakers={
                 str(name): str(state)
                 for name, state in data.get("breakers", {}).items()
@@ -501,6 +529,20 @@ class RoutingService:
         self._served_degraded = 0
         self._served_stale = 0
         self._learning_stats_provider: Callable[[], Any] | None = None
+        # Time-varying networks: the profile this service was compiled from
+        # (None for plain services) and the scheduled-incident state.  The
+        # incident clock shares the departure-time axis (seconds, wrapping
+        # daily for slice resolution).  ``_incident_lock`` serialises the
+        # scheduler; hold order is incident lock → slice write lock →
+        # stats lock, and nothing acquires the incident lock while holding
+        # either inner lock.
+        self.temporal_profile: TemporalCostProfile | None = None
+        self._incident_lock = threading.Lock()
+        self._incident_clock = 0.0
+        self._pending_incidents: dict[str, ScheduledIncident] = {}
+        self._active_incidents: dict[str, dict[str, Any]] = {}
+        self._incidents_activated = 0
+        self._incidents_cleared = 0
         self.add_slice(slice_name, combiner)
 
     @classmethod
@@ -559,6 +601,57 @@ class RoutingService:
             raise ValueError(
                 f"schedule names slices with no cost table: {sorted(missing)}"
             )
+        return service
+
+    @classmethod
+    def from_temporal_profile(
+        cls,
+        network: RoadNetwork,
+        profile: TemporalCostProfile,
+        *,
+        default_slice: str | None = None,
+        combiner_factory: Callable[[EdgeCostTable], CostCombiner] = ConvolutionModel,
+        pruning: PruningConfig | None = None,
+        max_cache_entries: int = 4096,
+        cache_ttl_seconds: float | None = None,
+        admission_min_compute_seconds: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+        breaker_failure_threshold: int = 5,
+        breaker_cooldown_seconds: float = 1.0,
+        coalesce_in_flight: bool = False,
+    ) -> "RoutingService":
+        """Build a service from a :class:`TemporalCostProfile`.
+
+        The profile compiles down to the exact primitives
+        :meth:`from_time_slices` already serves — one cost table and one
+        expanded schedule entry per regime (anchor slices, interpolation
+        bins, signal-plan overlays) — so caching, locking, incidents and
+        snapshots work unchanged.  A degenerate profile (no interpolation,
+        no plans) serves the very anchor tables and schedule it was built
+        from, bit for bit.  The profile is kept on ``temporal_profile`` so
+        snapshots can carry its spec and incidents can resolve their
+        time windows to regime slices.
+        """
+        if not isinstance(profile, TemporalCostProfile):
+            raise TypeError(
+                f"profile must be a TemporalCostProfile, got {type(profile).__name__}"
+            )
+        service = cls.from_time_slices(
+            network,
+            profile.tables(),
+            schedule=profile.expanded_schedule(),
+            default_slice=default_slice,
+            combiner_factory=combiner_factory,
+            pruning=pruning,
+            max_cache_entries=max_cache_entries,
+            cache_ttl_seconds=cache_ttl_seconds,
+            admission_min_compute_seconds=admission_min_compute_seconds,
+            clock=clock,
+            breaker_failure_threshold=breaker_failure_threshold,
+            breaker_cooldown_seconds=breaker_cooldown_seconds,
+            coalesce_in_flight=coalesce_in_flight,
+        )
+        service.temporal_profile = profile
         return service
 
     def __repr__(self) -> str:
@@ -1003,6 +1096,119 @@ class RoutingService:
             **kwargs,
         )
 
+    def depart_when(
+        self,
+        source: int,
+        target: int,
+        departure_times: Iterable[float],
+        *,
+        budget: int | None = None,
+        arrive_by_seconds: float | None = None,
+        time_limit_seconds: float | None = None,
+        cache_ttl_seconds: float | None = None,
+    ) -> ServedResult:
+        """Answer "when should I leave?" over a window of departure times.
+
+        Exactly one of ``budget`` (same budget at every departure) or
+        ``arrive_by_seconds`` (each departure's budget is the time left
+        until the deadline) must be given.  Departures are grouped by the
+        schedule's temporal regime — each group is answered by *one*
+        shared multi-budget search against that regime's cost table (a
+        normal cached, version-tagged :meth:`route` call with
+        ``strategy="depart_when"``) — and the per-regime fragments merge
+        into one :class:`~repro.routing.DepartWhenResult`.  The served
+        metadata (``slice_name``, ``cost_version``) describes the regime
+        that produced the winning departure; ``cache_hit`` is true only
+        when every regime fragment came from cache.
+
+        Departures at or past ``arrive_by_seconds`` are reported as
+        infeasible (budget 0, ``None`` result); if *every* departure is
+        infeasible the request raises ``ValueError``.
+        """
+        if self.schedule is None:
+            raise ValueError(
+                "depart_when needs a ScenarioSchedule; construct the service "
+                "with schedule=... or use from_time_slices"
+            )
+        if (budget is None) == (arrive_by_seconds is None):
+            raise ValueError(
+                "exactly one of budget or arrive_by_seconds must be given"
+            )
+        departures = normalize_departures(departure_times)
+        groups: dict[str, list[float]] = {}
+        for departure in departures:
+            groups.setdefault(self.schedule.slice_at(departure), []).append(
+                departure
+            )
+        parts: list[DepartWhenResult] = []
+        served_parts: list[tuple[str, ServedResult]] = []
+        for name, group in groups.items():
+            name = self._resolve_slice(name)
+            if arrive_by_seconds is not None:
+                resolution = self._engines[name].resolution
+                ticks = [
+                    budget_ticks_for_departure(
+                        departure, arrive_by_seconds, resolution
+                    )
+                    for departure in group
+                ]
+                feasible = [t for t in ticks if t >= 1]
+                if not feasible:
+                    # The whole regime is past the deadline: synthesise the
+                    # all-infeasible fragment locally, no search to run.
+                    parts.append(
+                        DepartWhenResult(
+                            query=RoutingQuery(source, target, 1),
+                            departures=tuple(group),
+                            budgets=(0,) * len(group),
+                            results=(None,) * len(group),
+                            arrive_by_seconds=float(arrive_by_seconds),
+                        )
+                    )
+                    continue
+                group_query = RoutingQuery(source, target, max(feasible))
+            else:
+                group_query = RoutingQuery(source, target, budget)
+            served = self.route(
+                group_query,
+                strategy="depart_when",
+                slice_name=name,
+                time_limit_seconds=time_limit_seconds,
+                cache_ttl_seconds=cache_ttl_seconds,
+                departure_times=tuple(group),
+                arrive_by_seconds=(
+                    None if arrive_by_seconds is None else float(arrive_by_seconds)
+                ),
+            )
+            assert isinstance(served.result, DepartWhenResult)
+            parts.append(served.result)
+            served_parts.append((name, served))
+        if not served_parts:
+            raise ValueError(
+                "every departure is at or past arrive_by_seconds "
+                f"({arrive_by_seconds!r}); nothing to optimise"
+            )
+        merged = DepartWhenResult.merge(parts)
+        # Tag the answer with the regime that produced the winning
+        # departure (first searched regime when nothing routes anywhere).
+        tag_name, tag_served = served_parts[0]
+        best_departure = merged.best_departure
+        if best_departure is not None:
+            for name, served in served_parts:
+                if best_departure in served.result.departures:
+                    tag_name, tag_served = name, served
+                    break
+        return ServedResult(
+            result=merged,
+            cache_hit=all(s.cache_hit for _, s in served_parts),
+            cost_version=tag_served.cost_version,
+            slice_name=tag_name,
+            strategy="depart_when",
+            degraded=any(s.degraded for _, s in served_parts),
+            fallback_strategy=tag_served.fallback_strategy,
+            coalesced=any(s.coalesced for _, s in served_parts),
+        )
+
     def route_many(
         self,
         queries: Iterable[RoutingQuery],
@@ -1225,6 +1431,175 @@ class RoutingService:
         return self._resolve_slice(slice_name)
 
     # ------------------------------------------------------------------
+    # Scheduled incidents
+    # ------------------------------------------------------------------
+
+    @property
+    def incident_clock(self) -> float:
+        """The service's current incident time (seconds, monotone)."""
+        with self._incident_lock:
+            return self._incident_clock
+
+    def _incident_targets(self, incident: ScheduledIncident) -> tuple[str, ...]:
+        """Resolve (and validate) which slices an incident lands on.
+
+        Explicit ``slices`` win; otherwise a temporal-profile service fans
+        the incident across every regime whose time-of-day interval
+        intersects the incident window (profile × active incidents), and a
+        plain service targets its default slice.
+        """
+        if incident.slices is not None:
+            return tuple(self._resolve_slice(name) for name in incident.slices)
+        if self.temporal_profile is not None:
+            return self.temporal_profile.slices_in_window(
+                incident.start_time, incident.end_time
+            )
+        return (self.default_slice,)
+
+    def schedule_incident(self, incident: ScheduledIncident) -> None:
+        """Register an incident to activate when the clock reaches it.
+
+        Nothing changes until :meth:`advance_clock` passes the incident's
+        ``start_time``; an incident whose window is already entirely in
+        the past (``end_time`` at or before the current clock) is
+        rejected.  Incident ids are unique across pending *and* active.
+        """
+        if not isinstance(incident, ScheduledIncident):
+            raise TypeError(
+                f"expected a ScheduledIncident, got {type(incident).__name__}"
+            )
+        self._incident_targets(incident)  # unknown slices raise here
+        with self._incident_lock:
+            iid = incident.incident_id
+            if iid in self._pending_incidents or iid in self._active_incidents:
+                raise ValueError(f"incident {iid!r} is already scheduled")
+            if incident.end_time <= self._incident_clock:
+                raise ValueError(
+                    f"incident {iid!r} ends at {incident.end_time}, at or "
+                    f"before the current clock {self._incident_clock}"
+                )
+            self._pending_incidents[iid] = incident
+
+    def advance_clock(self, now_seconds: float) -> list[dict[str, Any]]:
+        """Move the incident clock forward, activating and clearing.
+
+        The clock is monotone (moving it backwards raises).  Deactivations
+        run first — an active incident whose ``end_time`` is at or before
+        ``now_seconds`` has its captured pre-incident costs re-applied —
+        then activations: a pending incident whose window contains the new
+        clock captures each target slice's current per-edge costs
+        (the preimage) and applies its effective costs atomically under
+        that slice's write lock, bumping the slice version exactly like
+        :meth:`apply_cost_update`.  A pending incident whose whole window
+        was jumped over expires without ever touching a table.  Returns
+        the ordered list of lifecycle events.
+        """
+        if (
+            not isinstance(now_seconds, numbers.Real)
+            or isinstance(now_seconds, bool)
+            or not math.isfinite(now_seconds)
+        ):
+            raise ValueError(
+                f"now_seconds must be a finite number, got {now_seconds!r}"
+            )
+        now = float(now_seconds)
+        events: list[dict[str, Any]] = []
+        with self._incident_lock:
+            if now < self._incident_clock:
+                raise ValueError(
+                    f"the incident clock is monotone: {now} < current "
+                    f"{self._incident_clock}"
+                )
+            for iid in sorted(self._active_incidents):
+                entry = self._active_incidents[iid]
+                if entry["incident"].end_time <= now:
+                    self._revert_incident(iid, entry)
+                    events.append(
+                        {
+                            "incident_id": iid,
+                            "event": "cleared",
+                            "slices": list(entry["targets"]),
+                        }
+                    )
+            for iid in sorted(self._pending_incidents):
+                incident = self._pending_incidents[iid]
+                if incident.end_time <= now:
+                    # The clock jumped past the whole window: the incident
+                    # never touched a table, so there is nothing to revert.
+                    del self._pending_incidents[iid]
+                    events.append({"incident_id": iid, "event": "expired"})
+                elif incident.start_time <= now:
+                    del self._pending_incidents[iid]
+                    targets = self._incident_targets(incident)
+                    self._activate_incident(incident, targets)
+                    events.append(
+                        {
+                            "incident_id": iid,
+                            "event": "activated",
+                            "slices": list(targets),
+                        }
+                    )
+            self._incident_clock = now
+        return events
+
+    def _activate_incident(
+        self, incident: ScheduledIncident, targets: tuple[str, ...]
+    ) -> None:
+        """Capture preimages and apply the incident (incident lock held)."""
+        preimages: dict[str, dict[int, DiscreteDistribution]] = {}
+        for name in targets:
+            table = self._engines[name].combiner.costs
+            with self._slice_locks[name].write_locked():
+                # cost() falls back to the free-flow point mass for edges
+                # never observed, so the preimage is cost()-identical to
+                # the pre-incident table even where it materialises an
+                # implicit default.
+                current = {
+                    edge_id: table.cost(self.network.edge(edge_id))
+                    for edge_id in incident.affected_edge_ids
+                }
+                table.apply_deltas(incident.effective_costs(current))
+                preimages[name] = current
+            with self._stats_lock:
+                self._updates_applied += 1
+        self._active_incidents[incident.incident_id] = {
+            "incident": incident,
+            "targets": targets,
+            "preimages": preimages,
+        }
+        with self._stats_lock:
+            self._incidents_activated += 1
+
+    def _revert_incident(self, iid: str, entry: dict[str, Any]) -> None:
+        """Re-apply captured preimages and retire the incident."""
+        for name, preimage in entry["preimages"].items():
+            with self._slice_locks[name].write_locked():
+                self._engines[name].combiner.costs.apply_deltas(preimage)
+            with self._stats_lock:
+                self._updates_applied += 1
+        del self._active_incidents[iid]
+        with self._stats_lock:
+            self._incidents_cleared += 1
+
+    def incidents(self) -> dict[str, Any]:
+        """The incident scheduler's observable state (JSON-ready)."""
+        with self._incident_lock:
+            return {
+                "clock": self._incident_clock,
+                "pending": [
+                    self._pending_incidents[iid].to_dict()
+                    for iid in sorted(self._pending_incidents)
+                ],
+                "active": [
+                    {
+                        "incident": entry["incident"].to_dict(),
+                        "slices": list(entry["targets"]),
+                    }
+                    for _, entry in sorted(self._active_incidents.items())
+                ],
+            }
+
+    # ------------------------------------------------------------------
     # Snapshot / restore
     # ------------------------------------------------------------------
 
@@ -1253,6 +1628,32 @@ class RoutingService:
         with self._stats_lock:
             feed_position = self._last_update_sequence
             updates_applied = self._updates_applied
+        with self._incident_lock:
+            temporal = {
+                "clock": self._incident_clock,
+                "pending": [
+                    self._pending_incidents[iid].to_dict()
+                    for iid in sorted(self._pending_incidents)
+                ],
+                "active": [
+                    {
+                        "incident": entry["incident"].to_dict(),
+                        "targets": list(entry["targets"]),
+                        # Preimages ride along so a restored successor can
+                        # still clear the incident bit-identically.
+                        "preimages": {
+                            name: {
+                                str(edge_id): _distribution_to_payload(dist)
+                                for edge_id, dist in sorted(preimage.items())
+                            }
+                            for name, preimage in sorted(
+                                entry["preimages"].items()
+                            )
+                        },
+                    }
+                    for _, entry in sorted(self._active_incidents.items())
+                ],
+            }
         document: dict[str, Any] = {
             "kind": "service_snapshot",
             "format_version": SERVICE_SNAPSHOT_FORMAT,
@@ -1260,6 +1661,12 @@ class RoutingService:
             "schedule": (
                 None if self.schedule is None else self.schedule.to_dict()
             ),
+            "profile": (
+                None
+                if self.temporal_profile is None
+                else self.temporal_profile.to_dict()
+            ),
+            "temporal": temporal,
             "feed_position": feed_position,
             "updates_applied": updates_applied,
             "slices": slices,
@@ -1290,11 +1697,11 @@ class RoutingService:
                 "expected a service_snapshot document, got "
                 f"kind={document.get('kind')!r}"
             )
-        if document.get("format_version") != SERVICE_SNAPSHOT_FORMAT:
+        if document.get("format_version") not in ACCEPTED_SNAPSHOT_FORMATS:
             raise ValueError(
                 "unsupported service snapshot format: "
                 f"{document.get('format_version')!r} (this build reads "
-                f"format {SERVICE_SNAPSHOT_FORMAT})"
+                f"formats {sorted(ACCEPTED_SNAPSHOT_FORMATS)})"
             )
         slices = document["slices"]
         if set(slices) != set(self._engines):
@@ -1316,6 +1723,16 @@ class RoutingService:
         )
         if restored_schedule != self.schedule:
             raise ValueError("snapshot schedule differs from this service's")
+        own_profile = (
+            None
+            if self.temporal_profile is None
+            else self.temporal_profile.to_dict()
+        )
+        if "profile" in document and document["profile"] != own_profile:
+            raise ValueError(
+                "snapshot temporal profile differs from this service's; "
+                "construct the successor from the same profile"
+            )
         for name, payload in slices.items():
             with self._slice_locks[name].write_locked():
                 self._engines[name].combiner.costs.restore(
@@ -1326,6 +1743,51 @@ class RoutingService:
             self._last_update_sequence = (
                 None if feed_position is None else int(feed_position)
             )
+        # Adopt the incident scheduler's state.  The dumped cost tables
+        # already include every active incident's effect, so only the
+        # bookkeeping (clock, pending windows, preimages for clearing) is
+        # rebuilt here.  Format-1 documents predate incidents: reset.
+        temporal = document.get("temporal")
+        with self._incident_lock:
+            if temporal is None:
+                self._incident_clock = 0.0
+                self._pending_incidents = {}
+                self._active_incidents = {}
+            else:
+                self._incident_clock = float(temporal["clock"])
+                self._pending_incidents = {
+                    incident.incident_id: incident
+                    for payload in temporal.get("pending", ())
+                    for incident in (ScheduledIncident.from_dict(payload),)
+                }
+                active: dict[str, dict[str, Any]] = {}
+                for entry in temporal.get("active", ()):
+                    incident = ScheduledIncident.from_dict(entry["incident"])
+                    targets = tuple(entry["targets"])
+                    for name in targets:
+                        self._resolve_slice(name)
+                    preimages = {
+                        name: {
+                            int(edge_id): _distribution_from_payload(
+                                payload,
+                                f"incident {incident.incident_id!r} "
+                                f"preimage for edge {edge_id}",
+                            )
+                            for edge_id, payload in mapping.items()
+                        }
+                        for name, mapping in entry["preimages"].items()
+                    }
+                    if set(preimages) != set(targets):
+                        raise ValueError(
+                            f"incident {incident.incident_id!r} preimages "
+                            "do not cover its target slices"
+                        )
+                    active[incident.incident_id] = {
+                        "incident": incident,
+                        "targets": targets,
+                        "preimages": preimages,
+                    }
+                self._active_incidents = active
         # Entries cached before the restore were keyed under this service's
         # own version history, which the restore just replaced.
         self._cache.clear()
@@ -1351,6 +1813,11 @@ class RoutingService:
         even while worker threads keep serving.
         """
         hits, misses, evictions, expirations, entries = self._cache.counters()
+        # Incident lock strictly before the stats lock (the scheduler holds
+        # them in that order; taking them inverted here could deadlock).
+        with self._incident_lock:
+            incidents_pending = len(self._pending_incidents)
+            incidents_active = len(self._active_incidents)
         with self._stats_lock:
             return ServiceStats(
                 requests=self._requests,
@@ -1366,6 +1833,10 @@ class RoutingService:
                 served_stale=self._served_stale,
                 coalesced=self._coalesced,
                 breaker_trips=sum(b.trips for b in self._breakers.values()),
+                incidents_activated=self._incidents_activated,
+                incidents_cleared=self._incidents_cleared,
+                incidents_pending=incidents_pending,
+                incidents_active=incidents_active,
                 breakers={
                     name: breaker.state
                     for name, breaker in self._breakers.items()
@@ -1492,9 +1963,45 @@ class RoutingService:
                         f"{include_cache!r}"
                     )
                 return {"ok": True, **self.snapshot(include_cache=include_cache)}
+            if op == "depart_when":
+                if request.get("kwargs"):
+                    raise ValueError(
+                        "op 'depart_when' takes no kwargs; departure_times, "
+                        "budget and arrive_by_seconds are top-level fields"
+                    )
+                served = self.depart_when(
+                    request["source"],
+                    request["target"],
+                    request["departure_times"],
+                    budget=request.get("budget"),
+                    arrive_by_seconds=request.get("arrive_by_seconds"),
+                    time_limit_seconds=request.get("time_limit_seconds"),
+                    cache_ttl_seconds=request.get("cache_ttl_seconds"),
+                )
+                return {"ok": True, **served.to_dict()}
+            if op == "schedule_incident":
+                incident = ScheduledIncident.from_dict(request["incident"])
+                self.schedule_incident(incident)
+                return {
+                    "ok": True,
+                    "kind": "incident_scheduled",
+                    "incident_id": incident.incident_id,
+                    "clock": self.incident_clock,
+                }
+            if op == "advance_clock":
+                events = self.advance_clock(request["now_seconds"])
+                return {
+                    "ok": True,
+                    "kind": "clock_advanced",
+                    "clock": self.incident_clock,
+                    "events": events,
+                }
+            if op == "incidents":
+                return {"ok": True, "kind": "incidents", **self.incidents()}
             raise ValueError(
                 f"unknown op {op!r}; expected route/route_at/route_many/"
-                "apply_update/stats/learning_stats/snapshot"
+                "depart_when/apply_update/schedule_incident/advance_clock/"
+                "incidents/stats/learning_stats/snapshot"
             )
         except Exception as exc:
             # The always-answer contract: *any* failure — malformed

@@ -11,6 +11,15 @@ remain valid *as of the version they are tagged with*.
 :meth:`CostUpdate.from_congestion` adapts the trajectory-side congestion
 model (:meth:`~repro.trajectories.CongestionModel.cost_update`) into an
 update — e.g. "this corridor just went to the heavy state".
+
+A :class:`ScheduledIncident` is the *temporal* form of the same mechanism:
+a closure or capacity drop declared ahead of time, with an activation
+window on the service clock.  The service's incident scheduler
+(:meth:`repro.service.RoutingService.advance_clock`) turns it into plain
+``CostUpdate`` applications when its window opens and reverts the affected
+edges to their captured pre-incident histograms when it closes — so the
+whole serving stack (versioned caches, snapshots, learning feeds) sees
+nothing but ordinary cost updates.
 """
 
 from __future__ import annotations
@@ -24,7 +33,12 @@ from ..histograms import DiscreteDistribution
 from ..network import Edge
 from ..trajectories import CongestionModel
 
-__all__ = ["CostUpdate"]
+__all__ = ["CostUpdate", "ScheduledIncident"]
+
+#: Tick count a closed edge is priced at: effectively untraversable inside
+#: any sane budget (``RoutingQuery`` caps budgets at ``10**9`` ticks) while
+#: staying finite so convolution arithmetic keeps working.
+CLOSURE_TICKS = 10**6
 
 
 @dataclass(frozen=True)
@@ -165,4 +179,242 @@ class CostUpdate:
             source=data.get("source", "feed"),
             # Absent in pre-resilience documents: default to unnumbered.
             sequence=data.get("sequence"),
+        )
+
+
+@dataclass(frozen=True)
+class ScheduledIncident:
+    """A closure or capacity drop with a service-clock activation window.
+
+    ``start_time`` / ``end_time`` are seconds on the service's incident
+    clock (not seconds of day): start inclusive, end exclusive, with
+    ``math.inf`` allowed for open-ended incidents.  ``slices`` names the
+    slice tables the incident hits when it activates (``None`` means the
+    service's default slice; a temporal-profile service typically fans it
+    across every regime the active window can resolve to, see
+    :meth:`~repro.service.scenarios.TemporalCostProfile.slices_in_window`).
+
+    Exactly one effect form must be given:
+
+    - ``costs`` — absolute replacement histograms per edge (a closure is a
+      point mass at :data:`CLOSURE_TICKS`, see :meth:`closure`);
+    - ``scale`` + ``edge_ids`` — a multiplicative slowdown applied to each
+      edge's *live* histogram at activation time (a capacity drop, see
+      :meth:`capacity_drop`): travel-time values are scaled by the factor,
+      so the effect composes with whatever the feed has published since the
+      incident was scheduled.
+    """
+
+    incident_id: str
+    start_time: float
+    end_time: float
+    costs: Mapping[int, DiscreteDistribution] | None = None
+    scale: float | None = None
+    edge_ids: tuple[int, ...] | None = None
+    slices: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.incident_id, str) or not self.incident_id:
+            raise ValueError(
+                f"incident_id must be a non-empty string, got {self.incident_id!r}"
+            )
+        for label, value in (("start_time", self.start_time), ("end_time", self.end_time)):
+            if isinstance(value, bool) or not isinstance(value, numbers.Real):
+                raise ValueError(f"{label} must be a number, got {value!r}")
+        start = float(self.start_time)
+        end = float(self.end_time)
+        if math.isnan(start) or math.isinf(start) or start < 0:
+            raise ValueError(
+                f"start_time must be finite and >= 0, got {self.start_time!r}"
+            )
+        if math.isnan(end) or end <= start:
+            raise ValueError(
+                f"end_time must exceed start_time, got [{start}, {end})"
+            )
+        object.__setattr__(self, "start_time", start)
+        object.__setattr__(self, "end_time", end)
+        if (self.costs is None) == (self.scale is None):
+            raise ValueError(
+                "an incident needs exactly one effect: absolute 'costs' or "
+                "a 'scale' factor with 'edge_ids'"
+            )
+        if self.costs is not None:
+            if self.edge_ids is not None:
+                raise ValueError("'edge_ids' only pairs with 'scale'")
+            # Reuse CostUpdate's edge-id/histogram validation verbatim.
+            validated = CostUpdate(costs=self.costs).costs
+            object.__setattr__(self, "costs", validated)
+        else:
+            if (
+                isinstance(self.scale, bool)
+                or not isinstance(self.scale, numbers.Real)
+                or not math.isfinite(self.scale)
+                or self.scale <= 0
+            ):
+                raise ValueError(
+                    f"scale must be a positive finite number, got {self.scale!r}"
+                )
+            object.__setattr__(self, "scale", float(self.scale))
+            if not self.edge_ids:
+                raise ValueError("a scaled incident needs at least one edge id")
+            ids: list[int] = []
+            for edge_id in self.edge_ids:
+                if (
+                    isinstance(edge_id, bool)
+                    or not isinstance(edge_id, numbers.Integral)
+                    or edge_id < 0
+                ):
+                    raise ValueError(
+                        f"edge id must be a non-negative integer, got {edge_id!r}"
+                    )
+                ids.append(int(edge_id))
+            object.__setattr__(self, "edge_ids", tuple(dict.fromkeys(ids)))
+        if self.slices is not None:
+            names = tuple(self.slices)
+            if not names or not all(isinstance(n, str) and n for n in names):
+                raise ValueError(
+                    "slices must be a non-empty sequence of slice names or None"
+                )
+            object.__setattr__(self, "slices", names)
+
+    @property
+    def affected_edge_ids(self) -> tuple[int, ...]:
+        """The edges the incident touches, ascending."""
+        if self.costs is not None:
+            return tuple(sorted(self.costs))
+        return tuple(sorted(self.edge_ids or ()))
+
+    def effective_costs(
+        self, current: Mapping[int, DiscreteDistribution]
+    ) -> dict[int, DiscreteDistribution]:
+        """The histograms to install, given the edges' current live costs.
+
+        Absolute incidents ignore ``current``; scaled incidents stretch
+        each current histogram's travel-time axis by the factor.
+        """
+        if self.costs is not None:
+            return dict(self.costs)
+        from ..histograms.operations import scale_values
+
+        missing = [e for e in self.edge_ids or () if e not in current]
+        if missing:
+            raise KeyError(
+                f"incident {self.incident_id!r}: no current cost for edges {missing}"
+            )
+        return {
+            edge_id: scale_values(current[edge_id], self.scale)
+            for edge_id in self.edge_ids or ()
+        }
+
+    @classmethod
+    def closure(
+        cls,
+        incident_id: str,
+        edge_ids: Sequence[int],
+        start_time: float,
+        end_time: float,
+        *,
+        blocked_ticks: int = CLOSURE_TICKS,
+        slices: Sequence[str] | None = None,
+    ) -> "ScheduledIncident":
+        """A full closure: every listed edge priced at ``blocked_ticks``."""
+        blocked = DiscreteDistribution.point(int(blocked_ticks))
+        return cls(
+            incident_id=incident_id,
+            start_time=start_time,
+            end_time=end_time,
+            costs={int(edge_id): blocked for edge_id in edge_ids},
+            slices=tuple(slices) if slices is not None else None,
+        )
+
+    @classmethod
+    def capacity_drop(
+        cls,
+        incident_id: str,
+        edge_ids: Sequence[int],
+        factor: float,
+        start_time: float,
+        end_time: float,
+        *,
+        slices: Sequence[str] | None = None,
+    ) -> "ScheduledIncident":
+        """A slowdown: listed edges' travel times stretched by ``factor``."""
+        if not (isinstance(factor, numbers.Real) and factor > 1):
+            raise ValueError(
+                f"a capacity drop needs a slowdown factor > 1, got {factor!r}"
+            )
+        return cls(
+            incident_id=incident_id,
+            start_time=start_time,
+            end_time=end_time,
+            scale=float(factor),
+            edge_ids=tuple(edge_ids),
+            slices=tuple(slices) if slices is not None else None,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (exact :meth:`from_dict` round-trip).
+
+        Open-ended incidents serialise ``end_time`` as the string
+        ``"inf"`` (JSON has no infinity literal).
+        """
+        document: dict[str, Any] = {
+            "kind": "scheduled_incident",
+            "incident_id": self.incident_id,
+            "start_time": self.start_time,
+            "end_time": "inf" if math.isinf(self.end_time) else self.end_time,
+            "slices": list(self.slices) if self.slices is not None else None,
+        }
+        if self.costs is not None:
+            document["costs"] = {
+                str(edge_id): {
+                    "offset": dist.offset,
+                    "probs": [float(p) for p in dist.probs],
+                }
+                for edge_id, dist in sorted(self.costs.items())
+            }
+        else:
+            document["scale"] = self.scale
+            document["edge_ids"] = list(self.edge_ids or ())
+        return document
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScheduledIncident":
+        """Rebuild an incident from its wire document, validating everything.
+
+        Crosses the same trust boundary as :meth:`CostUpdate.from_dict`;
+        malformed payloads raise ``ValueError`` (``bad_request`` on the
+        wire), never an opaque ``KeyError``.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"incident document must be a mapping, got {type(data).__name__}"
+            )
+        if data.get("kind", "scheduled_incident") != "scheduled_incident":
+            raise ValueError(
+                f"expected a scheduled_incident document, got kind={data.get('kind')!r}"
+            )
+        end_time = data.get("end_time")
+        if end_time == "inf":
+            end_time = math.inf
+        costs = None
+        if data.get("costs") is not None:
+            raw = data["costs"]
+            if not isinstance(raw, Mapping):
+                raise ValueError("incident 'costs' must be a mapping")
+            # Route through CostUpdate's wire validation (mass, offsets).
+            costs = CostUpdate.from_dict({"costs": raw}).costs
+        slices = data.get("slices")
+        if slices is not None:
+            if isinstance(slices, str) or not isinstance(slices, Sequence):
+                raise ValueError("incident 'slices' must be a list of names or null")
+            slices = tuple(slices)
+        return cls(
+            incident_id=data.get("incident_id"),
+            start_time=data.get("start_time"),
+            end_time=end_time,
+            costs=costs,
+            scale=data.get("scale"),
+            edge_ids=tuple(data["edge_ids"]) if data.get("edge_ids") is not None else None,
+            slices=slices,
         )

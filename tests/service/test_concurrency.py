@@ -34,7 +34,11 @@ from repro.service import (
     ReadWriteLock,
     ResultCache,
     RoutingService,
+    ScenarioSchedule,
+    ScheduledIncident,
+    TemporalCostProfile,
     ThreadedFrontend,
+    time_sliced_cost_tables,
 )
 from repro.trajectories import CongestionModel
 
@@ -574,6 +578,131 @@ class TestThreadedServingStress:
         assert final.cost_version == base_version + len(updates)
         assert_same_answer(
             final.result, cold(final.cost_version, HOT_QUERIES[0])
+        )
+
+
+# ----------------------------------------------------------------------
+# Time-varying serving: route_at across a profile boundary while a
+# scheduled incident activates and clears mid-flight
+# ----------------------------------------------------------------------
+
+
+class TestTemporalConcurrency:
+    NUM_ROUTERS = 6
+
+    def test_route_at_across_boundary_with_midflight_incident(self, world):
+        """Threads hammer ``route_at`` at departure times straddling a
+        profile transition band while the incident clock advances
+        underneath them (activation, then clearing, each a version bump
+        on the peak slice).  Every recorded answer must bit-equal a cold
+        engine built on that slice's table at the answer's tagged
+        version — no torn tags, no answers computed against a
+        half-applied incident."""
+        network, model, _ = world
+        tables = time_sliced_cost_tables(network, model)
+        profile = TemporalCostProfile(
+            ScenarioSchedule.default(),
+            tables,
+            interpolation_points=2,
+            transition_seconds=1800.0,
+        )
+        service = RoutingService.from_temporal_profile(network, profile)
+        # Either side of the 07:00 off_peak->peak boundary plus both of
+        # its interpolation bins, and a plain off-peak departure.
+        departures = [
+            6.5 * 3600.0,  # off_peak proper
+            6.8 * 3600.0,  # off_peak->peak bin 1
+            7.1 * 3600.0,  # off_peak->peak bin 2
+            8.0 * 3600.0,  # peak proper
+            10.0 * 3600.0,  # off_peak again
+        ]
+        query = HOT_QUERIES[0]
+        incident = ScheduledIncident.closure(
+            "stress",
+            [network.edges[7].id, network.edges[8].id],
+            100.0,
+            200.0,
+            slices=["peak"],
+        )
+        service.schedule_incident(incident)
+
+        # Cold references are copied *before* the run: the compiled
+        # tables are the very objects the service serves (and mutates
+        # when the incident lands).  Each regime's table at every version
+        # it will go through — only the peak slice has history
+        # (activation, then the preimage restore).
+        compiled = profile.tables()
+        cold = {}
+        for name, table in compiled.items():
+            cold[(name, table.version)] = RoutingEngine(
+                network, ConvolutionModel(table.copy())
+            )
+        peak_base = compiled["peak"].version
+        replay = compiled["peak"].copy()
+        preimage = {
+            edge_id: replay.cost(network.edge(edge_id))
+            for edge_id in incident.affected_edge_ids
+        }
+        replay.apply_deltas(incident.effective_costs(preimage))
+        cold[("peak", peak_base + 1)] = RoutingEngine(
+            network, ConvolutionModel(replay.copy())
+        )
+        replay.apply_deltas(preimage)
+        cold[("peak", peak_base + 2)] = RoutingEngine(
+            network, ConvolutionModel(replay)
+        )
+
+        stop = threading.Event()
+        start = threading.Barrier(self.NUM_ROUTERS + 1)
+        recorded = []
+        lock = threading.Lock()
+
+        def router(offset):
+            def body():
+                start.wait()
+                mine = []
+                while not stop.is_set() and len(mine) < 5_000:
+                    departure = departures[(offset + len(mine)) % len(departures)]
+                    mine.append((departure, service.route_at(query, departure)))
+                with lock:
+                    recorded.extend(mine)
+
+            return body
+
+        def clock_driver():
+            start.wait()
+            time.sleep(0.02)  # traffic at the pre-incident version first
+            service.advance_clock(150.0)  # activates on the peak slice
+            time.sleep(0.02)
+            service.advance_clock(250.0)  # clears it (preimage re-applied)
+            time.sleep(0.02)
+            stop.set()
+
+        run_threads([router(o) for o in range(self.NUM_ROUTERS)] + [clock_driver])
+
+        cold_answers = {}
+        versions_seen = set()
+        for departure, served in recorded:
+            expected_slice = profile.expanded_schedule().slice_at(departure)
+            assert served.slice_name == expected_slice
+            key = (served.slice_name, served.cost_version)
+            versions_seen.add(key)
+            if key not in cold_answers:
+                cold_answers[key] = cold[key].route(query)
+            assert_same_answer(served.result, cold_answers[key], key)
+        # The stream really overlapped the incident: the peak slice was
+        # observed at more than one version.
+        peak_versions = {v for name, v in versions_seen if name == "peak"}
+        assert len(peak_versions) >= 2
+        assert service.cost_version("peak") == peak_base + 2
+        stats = service.stats()
+        assert stats.incidents_activated == 1
+        assert stats.incidents_cleared == 1
+        assert stats.incidents_active == 0
+        # Post-clear answers are bit-equal to the never-incident table's.
+        final = service.route_at(query, 8.0 * 3600.0)
+        assert_same_answer(
+            final.result, cold[("peak", peak_base)].route(query), "cleared"
         )
 
 
